@@ -1,0 +1,196 @@
+// Package dynctrl is a Go implementation of "Controller and estimator for
+// dynamic networks" by Amos Korman and Shay Kutten (PODC 2007; journal
+// version Information & Computation 223, 2013).
+//
+// The library provides:
+//
+//   - An (M,W)-Controller for dynamic trees under the controlled dynamic
+//     model, supporting insertions and deletions of both leaves and
+//     internal nodes, in a centralized form (move complexity) and a
+//     distributed form (message complexity) with matching asymptotics.
+//   - The size-estimation protocol: every node maintains a β-approximation
+//     of the current network size at amortized O(log²n) messages per
+//     topological change.
+//   - The name-assignment protocol: unique identities in [1, 4n] at all
+//     times.
+//   - A heavy-child decomposition of the dynamic tree (O(log n) light
+//     ancestors).
+//   - Dynamic extensions of static labeling schemes (ancestry, NCA,
+//     distance), and a majority-commitment protocol built on the counting
+//     machinery.
+//
+// # Quick start
+//
+//	tr, root := dynctrl.NewTree()
+//	rt := dynctrl.NewRuntime(42)
+//	ctl := dynctrl.NewController(tr, rt, 1000, 50) // (M,W) = (1000, 50)
+//	grant, err := ctl.Submit(dynctrl.Request{Node: root, Kind: dynctrl.AddLeaf})
+//
+// Every topological change must be requested through a controller (the
+// controlled dynamic model of the paper): the change is applied gracefully
+// once the request is granted.
+package dynctrl
+
+import (
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/estimator"
+	"dynctrl/internal/heavychild"
+	"dynctrl/internal/labeling"
+	"dynctrl/internal/majority"
+	"dynctrl/internal/naming"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Core tree types.
+type (
+	// Tree is the dynamic rooted spanning tree substrate.
+	Tree = tree.Tree
+	// NodeID identifies a (possibly deleted) node.
+	NodeID = tree.NodeID
+	// ChangeKind enumerates the topological change types.
+	ChangeKind = tree.ChangeKind
+)
+
+// Request/response types of the controller.
+type (
+	// Request is one event submitted to a controller.
+	Request = controller.Request
+	// Grant is a controller's answer.
+	Grant = controller.Grant
+	// Outcome is the answer kind (Granted / Rejected / WouldReject).
+	Outcome = controller.Outcome
+)
+
+// Topological change kinds (None marks non-topological events).
+const (
+	None           = tree.None
+	AddLeaf        = tree.AddLeaf
+	RemoveLeaf     = tree.RemoveLeaf
+	AddInternal    = tree.AddInternal
+	RemoveInternal = tree.RemoveInternal
+)
+
+// Request outcomes.
+const (
+	Granted     = controller.Granted
+	Rejected    = controller.Rejected
+	WouldReject = controller.WouldReject
+)
+
+// ErrTerminated is returned by terminating controllers after termination.
+var ErrTerminated = controller.ErrTerminated
+
+// Runtime moves messages for the distributed protocols.
+type Runtime = sim.Runtime
+
+// Counters accumulates cost metrics (messages, grants, ...).
+type Counters = stats.Counters
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return stats.NewCounters() }
+
+// NewTree creates a dynamic tree holding only a root and returns both.
+func NewTree() (*Tree, NodeID) { return tree.New() }
+
+// NewRuntime returns the deterministic message runtime seeded with seed:
+// reproducible, adversarially shuffled asynchronous delivery.
+func NewRuntime(seed int64) Runtime { return sim.NewDeterministic(seed) }
+
+// NewConcurrentRuntime returns the goroutine-based runtime: delivery order
+// is decided by the Go scheduler.
+func NewConcurrentRuntime(workers int) Runtime { return sim.NewConcurrent(workers) }
+
+// Controller is the distributed unknown-U (M,W)-Controller — the paper's
+// headline construction (Theorem 4.9). No bound on the number of nodes is
+// needed in advance; message complexity is
+// O(n₀log²n₀·log(M/(W+1)) + Σ_j log²n_j·log(M/(W+1))).
+type Controller = dist.Dynamic
+
+// NewController builds a distributed (m,w)-Controller over tr.
+func NewController(tr *Tree, rt Runtime, m, w int64) *Controller {
+	return dist.NewDynamic(tr, rt, m, w, false, nil)
+}
+
+// NewControllerWithCounters is NewController with shared counters.
+func NewControllerWithCounters(tr *Tree, rt Runtime, m, w int64, c *Counters) *Controller {
+	return dist.NewDynamic(tr, rt, m, w, false, c)
+}
+
+// Estimator maintains a β-approximation of the network size at every node.
+type Estimator = estimator.Estimator
+
+// NewEstimator builds the size-estimation protocol (Theorem 5.1).
+func NewEstimator(tr *Tree, rt Runtime, beta float64) (*Estimator, error) {
+	return estimator.New(tr, rt, beta)
+}
+
+// Naming maintains unique node identities in [1, 4n].
+type Naming = naming.Naming
+
+// NewNaming builds the name-assignment protocol (Theorem 5.2).
+func NewNaming(tr *Tree, rt Runtime) *Naming {
+	return naming.New(tr, rt, nil)
+}
+
+// HeavyChild maintains a heavy-child decomposition (Theorem 5.4).
+type HeavyChild = heavychild.Decomposition
+
+// NewHeavyChild builds the heavy-child decomposition protocol.
+func NewHeavyChild(tr *Tree, rt Runtime) (*HeavyChild, error) {
+	return heavychild.New(tr, rt, nil)
+}
+
+// Labeling types (Section 5.4).
+type (
+	// AncestryLabeling is the static KNR interval scheme.
+	AncestryLabeling = labeling.Ancestry
+	// NCALabeling answers nearest-common-ancestor queries from labels.
+	NCALabeling = labeling.NCA
+	// DistanceLabeling answers exact tree-distance queries from labels.
+	DistanceLabeling = labeling.Distance
+	// RoutingScheme is exact (stretch-1) interval routing on the tree.
+	RoutingScheme = labeling.Routing
+	// DynamicLabeling recomputes a static scheme as the size drifts.
+	DynamicLabeling = labeling.Dynamic
+)
+
+// BuildAncestryLabels labels the current tree with interval labels.
+func BuildAncestryLabels(tr *Tree) *AncestryLabeling { return labeling.BuildAncestry(tr) }
+
+// BuildNCALabels labels the current tree for NCA queries (O(log²n)-bit
+// labels via heavy-path decomposition).
+func BuildNCALabels(tr *Tree) *NCALabeling { return labeling.BuildNCA(tr) }
+
+// BuildDistanceLabels labels the current tree for exact distance queries
+// (O(log n) separator entries per label via centroid decomposition).
+func BuildDistanceLabels(tr *Tree) *DistanceLabeling { return labeling.BuildDistance(tr) }
+
+// BuildRoutingTables snapshots exact interval-routing tables for the
+// current tree (next hops computed from local tables + destination labels).
+func BuildRoutingTables(tr *Tree) (*RoutingScheme, error) { return labeling.BuildRouting(tr) }
+
+// QueryNCA answers an NCA query (as a preorder number) from two labels.
+func QueryNCA(a, b labeling.NCALabel) (int, error) { return labeling.QueryNCA(a, b) }
+
+// QueryDistance answers an exact tree-distance query from two labels.
+func QueryDistance(a, b labeling.DistanceLabel) (int, error) { return labeling.QueryDistance(a, b) }
+
+// NewDynamicAncestryLabeling wraps the ancestry scheme with size-driven
+// rebuilds so label sizes track the current n (Corollary 5.7).
+func NewDynamicAncestryLabeling(tr *Tree, rt Runtime) (*DynamicLabeling, error) {
+	return labeling.NewDynamic(tr, rt, func(tr *tree.Tree) (labeling.Scheme, int64) {
+		return labeling.BuildAncestry(tr), int64(tr.Size())
+	}, nil)
+}
+
+// Majority is the majority-commitment protocol.
+type Majority = majority.Protocol
+
+// NewMajority starts majority commitment over the given population,
+// returning the protocol and its (single-root) tree.
+func NewMajority(population int, seed int64) (*Majority, *Tree, error) {
+	return majority.New(population, seed)
+}

@@ -1,0 +1,590 @@
+// Package controller implements the paper's centralized (M,W)-Controller
+// (Section 3) together with the terminating transformation (Observation
+// 2.1), the waste-halving iteration (Observation 3.4), and the unknown-U
+// drivers of Theorem 3.5.
+//
+// The cost measure is move complexity: every move of a set of objects from
+// a node to a neighbor costs one unit, so moving a package across d edges
+// costs d. The distributed implementation (package dist) translates the
+// move complexity into message complexity (Section 4).
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"dynctrl/internal/pkgstore"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Outcome is the controller's answer to a request.
+type Outcome int
+
+// Request outcomes. WouldReject is produced only in no-reject mode (used by
+// the terminating transformation): it signals that the controller is out of
+// permits without broadcasting the reject wave.
+const (
+	Granted Outcome = iota + 1
+	Rejected
+	WouldReject
+)
+
+// String returns a human-readable outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "granted"
+	case Rejected:
+		return "rejected"
+	case WouldReject:
+		return "would-reject"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Request is one event submitted to the controller. Per Section 2.1, a
+// request to delete a node arrives at that node, and a request to add a
+// node arrives at the node's parent-to-be.
+type Request struct {
+	// Node is the node at which the request arrives.
+	Node tree.NodeID
+	// Kind is the topological change requested; None counts a
+	// non-topological event (ticket sale, etc.).
+	Kind tree.ChangeKind
+	// Child names, for AddInternal, the child whose parent edge is split
+	// (the new node is inserted between Node and Child).
+	Child tree.NodeID
+}
+
+// Grant is the controller's response to a request.
+type Grant struct {
+	Outcome Outcome
+	// Serial is the granted permit's serial number when the controller
+	// runs with explicit serials (name assignment), else 0.
+	Serial int64
+	// NewNode is the id of the node created by a granted addition.
+	NewNode tree.NodeID
+}
+
+// DescentObserver is notified when a permit package of the given size moves
+// down the tree; path lists the nodes the package enters, from the first
+// node below the source down to the destination (inclusive). The subtree
+// estimator of Section 5.3 uses this hook.
+type DescentObserver func(size int64, path []tree.NodeID)
+
+// Core is the fixed-U centralized (M,W)-Controller of Section 3.1.
+// It is not safe for concurrent use; the centralized setting is sequential
+// by definition.
+type Core struct {
+	tr       *tree.Tree
+	params   pkgstore.Params
+	stores   map[tree.NodeID]*pkgstore.Store
+	storage  int64             // permits remaining at the root's storage
+	serials  pkgstore.Interval // serial numbers backing the storage, if any
+	counters *stats.Counters
+	domains  *DomainTracker
+	descent  DescentObserver
+
+	noRejects    bool
+	trackDomains bool
+	rejectWave   bool
+	granted      int64
+	rejected     int64
+}
+
+// CoreOption configures a Core.
+type CoreOption func(*Core)
+
+// WithCounters directs cost accounting into c (shared counters let drivers
+// aggregate across iterations).
+func WithCounters(c *stats.Counters) CoreOption {
+	return func(co *Core) { co.counters = c }
+}
+
+// WithDomainTracking enables the analysis-only domain bookkeeping of
+// Section 3.2 so tests can assert the domain invariants.
+func WithDomainTracking() CoreOption {
+	return func(co *Core) { co.trackDomains = true }
+}
+
+// WithSerials attaches explicit permit serial numbers to the root storage;
+// the interval length must be at least M.
+func WithSerials(iv pkgstore.Interval) CoreOption {
+	return func(co *Core) { co.serials = iv }
+}
+
+// WithNoRejects makes the core return WouldReject instead of issuing
+// rejects (the terminating transformation of Observation 2.1).
+func WithNoRejects() CoreOption {
+	return func(co *Core) { co.noRejects = true }
+}
+
+// WithDescentObserver registers fn to observe downward package moves.
+func WithDescentObserver(fn DescentObserver) CoreOption {
+	return func(co *Core) { co.descent = fn }
+}
+
+// NewCore creates a fixed-U (m, w)-Controller over tr assuming at most u
+// nodes ever exist. The root's storage initially holds the m permits.
+func NewCore(tr *tree.Tree, u, m, w int64, opts ...CoreOption) *Core {
+	c := &Core{
+		tr:      tr,
+		params:  pkgstore.NewParams(u, m, w),
+		stores:  make(map[tree.NodeID]*pkgstore.Store),
+		storage: m,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.trackDomains {
+		c.domains = NewDomainTracker(tr, c.params)
+	}
+	if c.counters == nil {
+		c.counters = stats.NewCounters()
+	}
+	for _, id := range tr.Nodes() {
+		c.stores[id] = pkgstore.NewStore()
+	}
+	return c
+}
+
+// EnableDomainTracking switches on domain bookkeeping. It must be called
+// before the first request is submitted.
+func (c *Core) EnableDomainTracking() {
+	if c.domains == nil {
+		c.domains = NewDomainTracker(c.tr, c.params)
+	}
+}
+
+// Params exposes the derived φ/ψ parameters.
+func (c *Core) Params() pkgstore.Params { return c.params }
+
+// Granted returns the number of permits granted so far.
+func (c *Core) Granted() int64 { return c.granted }
+
+// Rejected returns the number of rejects delivered so far.
+func (c *Core) Rejected() int64 { return c.rejected }
+
+// Storage returns the permits remaining in the root's storage.
+func (c *Core) Storage() int64 { return c.storage }
+
+// Counters returns the cost counters.
+func (c *Core) Counters() *stats.Counters { return c.counters }
+
+// Domains returns the domain tracker (nil unless tracking is enabled).
+func (c *Core) Domains() *DomainTracker { return c.domains }
+
+// NodePermits returns the number of permits (static and mobile) currently
+// stored at the given node.
+func (c *Core) NodePermits(id tree.NodeID) int64 {
+	s, ok := c.stores[id]
+	if !ok {
+		return 0
+	}
+	return s.PermitCount()
+}
+
+// HasRejectAt reports whether a reject package resides at the given node.
+func (c *Core) HasRejectAt(id tree.NodeID) bool {
+	s, ok := c.stores[id]
+	return ok && s.HasReject()
+}
+
+// UnusedPermits returns the permits not yet granted: root storage plus all
+// permits sitting in packages. The iteration drivers use this as L.
+func (c *Core) UnusedPermits() int64 {
+	n := c.storage
+	for _, s := range c.stores {
+		n += s.PermitCount()
+	}
+	return n
+}
+
+// store returns the package store of a live node, creating it lazily (new
+// nodes join with empty stores).
+func (c *Core) store(id tree.NodeID) *pkgstore.Store {
+	s, ok := c.stores[id]
+	if !ok {
+		s = pkgstore.NewStore()
+		c.stores[id] = s
+	}
+	return s
+}
+
+// ClearPackages removes every package from the graph and returns all
+// unused permits to the root storage (iteration resets, Section 3.3).
+func (c *Core) ClearPackages() {
+	total := c.storage
+	for _, s := range c.stores {
+		total += s.PermitCount()
+		s.Clear()
+	}
+	c.storage = total
+	c.rejectWave = false
+	if c.domains != nil {
+		c.domains.Reset()
+	}
+}
+
+// Submit runs Protocol GrantOrReject (Section 3.1) for one request and, if
+// the request is topological and granted, applies the change to the tree.
+func (c *Core) Submit(req Request) (Grant, error) {
+	if !c.tr.Contains(req.Node) {
+		return Grant{}, fmt.Errorf("submit at %d: %w", req.Node, tree.ErrNoSuchNode)
+	}
+	if err := c.validate(req); err != nil {
+		return Grant{}, err
+	}
+	u := req.Node
+
+	// Item 1: a reject package at u rejects the request outright.
+	if c.store(u).HasReject() {
+		return c.reject(), nil
+	}
+
+	// Item 2: grant from a local static package when possible.
+	if static := c.store(u).Static(); static != nil {
+		return c.grantFromStatic(req, static)
+	}
+
+	// Item 3: find the closest filler node with respect to u.
+	host, pkg, err := c.findFiller(u)
+	if err != nil {
+		return Grant{}, err
+	}
+	if pkg == nil {
+		// Item 3b: no filler; create a package at the root if the
+		// storage suffices, otherwise reject with a reject wave.
+		dRoot, err := c.tr.Distance(u, c.tr.Root())
+		if err != nil {
+			return Grant{}, err
+		}
+		level := c.params.RootLevel(int64(dRoot))
+		need := c.params.MobileSize(level)
+		if c.storage < need {
+			if c.noRejects {
+				return Grant{Outcome: WouldReject}, nil
+			}
+			c.broadcastRejectWave()
+			return c.reject(), nil
+		}
+		pkg, err = c.createAtRoot(level)
+		if err != nil {
+			return Grant{}, err
+		}
+		host = c.tr.Root()
+	}
+
+	// Item 4: distribute the package's content along the path to u.
+	static, err := c.distribute(pkg, host, u)
+	if err != nil {
+		return Grant{}, err
+	}
+	c.store(u).AddStatic(static)
+	return c.grantFromStatic(req, static)
+}
+
+func (c *Core) validate(req Request) error {
+	switch req.Kind {
+	case tree.RemoveLeaf:
+		if req.Node == c.tr.Root() {
+			return fmt.Errorf("remove root: %w", tree.ErrIsRoot)
+		}
+		if !c.tr.IsLeaf(req.Node) {
+			return fmt.Errorf("remove-leaf at %d: %w", req.Node, tree.ErrNotLeaf)
+		}
+	case tree.RemoveInternal:
+		if req.Node == c.tr.Root() {
+			return fmt.Errorf("remove root: %w", tree.ErrIsRoot)
+		}
+		if c.tr.IsLeaf(req.Node) {
+			return fmt.Errorf("remove-internal at %d: %w", req.Node, tree.ErrNotInternal)
+		}
+	case tree.AddInternal:
+		p, err := c.tr.Parent(req.Child)
+		if err != nil {
+			return fmt.Errorf("add-internal: %w", err)
+		}
+		if p != req.Node {
+			return fmt.Errorf("add-internal: request must arrive at the parent-to-be: %w",
+				tree.ErrNotRelated)
+		}
+	case tree.None, tree.AddLeaf:
+		// No preconditions beyond the node existing.
+	default:
+		return fmt.Errorf("unknown request kind %v", req.Kind)
+	}
+	return nil
+}
+
+func (c *Core) reject() Grant {
+	c.rejected++
+	c.counters.Inc(stats.CounterRejects)
+	return Grant{Outcome: Rejected}
+}
+
+// findFiller walks the ancestors of u from u itself up to the root and
+// returns the first (closest) filler node and its qualifying package of the
+// smallest qualifying level, or (0, nil) when none exists.
+func (c *Core) findFiller(u tree.NodeID) (tree.NodeID, *pkgstore.Package, error) {
+	path, err := c.tr.PathToRoot(u)
+	if err != nil {
+		return tree.InvalidNode, nil, err
+	}
+	for d, w := range path {
+		if pk := c.store(w).MobileAtFillerDistance(c.params, int64(d)); pk != nil {
+			return w, pk, nil
+		}
+	}
+	return tree.InvalidNode, nil, nil
+}
+
+// createAtRoot creates a mobile package of the given level at the root,
+// funding it from the root storage (which the caller has checked).
+func (c *Core) createAtRoot(level int) (*pkgstore.Package, error) {
+	size := c.params.MobileSize(level)
+	var pk *pkgstore.Package
+	if c.serials.Valid() {
+		iv := pkgstore.Interval{Lo: c.serials.Lo, Hi: c.serials.Lo + size - 1}
+		if iv.Hi > c.serials.Hi {
+			return nil, fmt.Errorf("root serials exhausted: need %d, have %d", size, c.serials.Len())
+		}
+		var err error
+		pk, err = pkgstore.NewMobileWithSerials(c.params, level, iv)
+		if err != nil {
+			return nil, err
+		}
+		c.serials.Lo = iv.Hi + 1
+	} else {
+		pk = pkgstore.NewMobile(c.params, level)
+	}
+	c.storage -= size
+	c.store(c.tr.Root()).AddMobile(pk)
+	return pk, nil
+}
+
+// distribute implements procedure Proc (Section 3.1, item 4): the level-j
+// package pkg found (or created) at host is moved down toward u, splitting
+// at each drop point u_k so that for every k ∈ {0..j-1} one level-k mobile
+// package remains at the ancestor u_k of u at distance 3·2^{k-1}ψ, and a
+// final static package reaches u. It returns that static package (not yet
+// added to u's store).
+func (c *Core) distribute(pkg *pkgstore.Package, host, u tree.NodeID) (*pkgstore.Package, error) {
+	if err := c.store(host).RemoveMobile(pkg); err != nil {
+		return nil, fmt.Errorf("distribute: %w", err)
+	}
+	if c.domains != nil {
+		c.domains.OnConsumed(pkg)
+	}
+	cur := pkg
+	curHost := host
+	d, err := c.tr.Distance(u, curHost)
+	if err != nil {
+		return nil, err
+	}
+	curDist := int64(d)
+	for k := cur.Level; k > 0; k-- {
+		targetDist := c.params.UKDistance(k - 1)
+		target, err := c.tr.Ancestor(u, int(targetDist))
+		if err != nil {
+			return nil, fmt.Errorf("distribute: drop point u_%d at distance %d: %w",
+				k-1, targetDist, err)
+		}
+		c.moveDown(cur, curHost, target, curDist-targetDist)
+		p1, p2, err := cur.Split()
+		if err != nil {
+			return nil, err
+		}
+		c.store(target).AddMobile(p1)
+		if c.domains != nil {
+			if err := c.domains.OnFormed(p1, u, target); err != nil {
+				return nil, err
+			}
+		}
+		cur = p2
+		curHost = target
+		curDist = targetDist
+	}
+	// cur has level 0: move it to u and convert to static.
+	c.moveDown(cur, curHost, u, curDist)
+	if err := cur.BecomeStatic(); err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// moveDown accounts for a package move of the given hop distance from host
+// down to target and notifies the descent observer.
+func (c *Core) moveDown(pk *pkgstore.Package, host, target tree.NodeID, dist int64) {
+	if dist < 0 {
+		dist = 0
+	}
+	c.counters.Add(stats.CounterMoves, dist)
+	if c.descent != nil && dist > 0 {
+		path, err := c.tr.PathBetween(target, host)
+		if err == nil {
+			// path is target..host bottom-up; the package enters every
+			// node strictly below host, i.e. all but the last entry.
+			c.descent(pk.Size, path[:len(path)-1])
+		}
+	}
+}
+
+// grantFromStatic implements item 2: one permit from the static package at
+// the request's node is granted, the package shrinks (and is canceled when
+// empty), and a granted topological request is applied to the tree.
+func (c *Core) grantFromStatic(req Request, static *pkgstore.Package) (Grant, error) {
+	serial, empty, err := static.TakePermit()
+	if err != nil {
+		return Grant{}, err
+	}
+	if empty {
+		if err := c.store(req.Node).RemoveStatic(static); err != nil {
+			return Grant{}, err
+		}
+	}
+	c.granted++
+	c.counters.Inc(stats.CounterGrants)
+
+	g := Grant{Outcome: Granted, Serial: serial}
+	switch req.Kind {
+	case tree.None:
+		// Non-topological event: nothing further.
+	case tree.AddLeaf:
+		id, err := c.tr.ApplyAddLeaf(req.Node)
+		if err != nil {
+			return Grant{}, err
+		}
+		c.stores[id] = pkgstore.NewStore()
+		g.NewNode = id
+		c.counters.Inc(stats.CounterTopoChanges)
+	case tree.AddInternal:
+		id, err := c.tr.ApplyAddInternal(req.Child)
+		if err != nil {
+			return Grant{}, err
+		}
+		c.stores[id] = pkgstore.NewStore()
+		if c.domains != nil {
+			c.domains.OnAddInternal(id, req.Child)
+		}
+		g.NewNode = id
+		c.counters.Inc(stats.CounterTopoChanges)
+	case tree.RemoveLeaf, tree.RemoveInternal:
+		if err := c.removeNode(req.Node, req.Kind); err != nil {
+			return Grant{}, err
+		}
+		c.counters.Inc(stats.CounterTopoChanges)
+	}
+	return g, nil
+}
+
+// removeNode performs the graceful deletion of item 2: the node's packages
+// move to its parent in one move, then the node is removed.
+func (c *Core) removeNode(id tree.NodeID, kind tree.ChangeKind) error {
+	parent, err := c.tr.Parent(id)
+	if err != nil {
+		return err
+	}
+	s := c.store(id)
+	pkgs, hadReject := s.TakeAll()
+	if len(pkgs) > 0 || hadReject {
+		// One move carries the whole set of objects across one edge.
+		c.counters.Add(stats.CounterMoves, 1)
+		c.store(parent).Absorb(pkgs, hadReject)
+		if c.domains != nil {
+			c.domains.OnHostMoved(pkgs, parent)
+		}
+	}
+	delete(c.stores, id)
+	switch kind {
+	case tree.RemoveLeaf:
+		err = c.tr.ApplyRemoveLeaf(id)
+	case tree.RemoveInternal:
+		err = c.tr.ApplyRemoveInternal(id)
+	default:
+		err = fmt.Errorf("removeNode: unexpected kind %v", kind)
+	}
+	return err
+}
+
+// broadcastRejectWave places a reject package in every node (item 3b). The
+// centralized simulation is instantaneous; the move cost is one per tree
+// edge (the packages split at each node and one copy crosses each edge).
+func (c *Core) broadcastRejectWave() {
+	if c.rejectWave {
+		return
+	}
+	c.rejectWave = true
+	nodes := c.tr.Nodes()
+	for _, id := range nodes {
+		c.store(id).SetReject()
+	}
+	if moves := int64(len(nodes) - 1); moves > 0 {
+		c.counters.Add(stats.CounterMoves, moves)
+	}
+}
+
+// ErrTerminated is returned by terminating controllers after termination.
+var ErrTerminated = errors.New("controller: terminated")
+
+// Terminating wraps a no-reject Core as a terminating (M,W)-Controller
+// (Observation 2.1): instead of ever rejecting, it terminates. At
+// termination the number of granted permits m satisfies M−W ≤ m ≤ M.
+type Terminating struct {
+	core       *Core
+	terminated bool
+}
+
+// NewTerminating builds a terminating (m,w)-Controller over tr with the
+// fixed bound u.
+func NewTerminating(tr *tree.Tree, u, m, w int64, opts ...CoreOption) *Terminating {
+	opts = append(opts, WithNoRejects())
+	return &Terminating{core: NewCore(tr, u, m, w, opts...)}
+}
+
+// Core exposes the wrapped core (for inspection in drivers and tests).
+func (t *Terminating) Core() *Core { return t.core }
+
+// Terminated reports whether the controller has terminated.
+func (t *Terminating) Terminated() bool { return t.terminated }
+
+// Granted returns the permits granted before termination.
+func (t *Terminating) Granted() int64 { return t.core.Granted() }
+
+// Submit forwards the request unless terminated. The first request the core
+// cannot fund flips the controller into the terminated state; that request
+// (and all later ones) receive ErrTerminated. Per Observation 2.1, the
+// broadcast/upcast that verifies granted events costs O(n) extra moves,
+// accounted here at termination time.
+func (t *Terminating) Submit(req Request) (Grant, error) {
+	if t.terminated {
+		return Grant{}, ErrTerminated
+	}
+	g, err := t.core.Submit(req)
+	if err != nil {
+		return Grant{}, err
+	}
+	if g.Outcome == WouldReject {
+		t.terminate()
+		return Grant{}, ErrTerminated
+	}
+	return g, nil
+}
+
+// Terminate forces termination (drivers use this when an iteration ends
+// for an external reason, e.g. the topological-change budget is spent).
+func (t *Terminating) Terminate() {
+	if !t.terminated {
+		t.terminate()
+	}
+}
+
+func (t *Terminating) terminate() {
+	t.terminated = true
+	// Broadcast + upcast over the current tree (Observation 2.1).
+	if n := int64(t.core.tr.Size()); n > 1 {
+		t.core.counters.Add(stats.CounterMoves, 2*(n-1))
+	}
+}

@@ -1,0 +1,220 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// ErrIterationCap is returned if the waste-halving loop fails to make
+// progress, which indicates the fixed-U assumption was violated by the
+// workload.
+var ErrIterationCap = errors.New("controller: iteration cap exceeded (U bound violated?)")
+
+// Iterated is the waste-halving (M,W)-Controller of Observation 3.4: it
+// runs (M_i, M_i/2)-controllers in iterations, setting M_{i+1} to the
+// number L of unused permits when iteration i exhausts, until L is within a
+// constant factor of W; the final iteration runs an (L, W)-controller. The
+// special case W = 0 appends the trivial controller that walks remaining
+// permits directly from the root.
+//
+// Move complexity: O(U·log²U·log(M/(W+1))).
+type Iterated struct {
+	tr          *tree.Tree
+	u           int64
+	w           int64
+	counters    *stats.Counters
+	terminating bool
+
+	cur        *Core
+	curM       int64
+	iterations int
+	finalPhase bool
+
+	// Trivial phase state (W = 0 tail).
+	trivialPhase bool
+	trivialLeft  int64
+
+	terminated bool
+	rejectAll  bool
+	granted    int64
+}
+
+// IteratedOption configures an Iterated controller.
+type IteratedOption func(*Iterated)
+
+// WithIteratedCounters shares the cost counters.
+func WithIteratedCounters(c *stats.Counters) IteratedOption {
+	return func(it *Iterated) { it.counters = c }
+}
+
+// AsTerminating turns the driver into a terminating controller: instead of
+// ever rejecting it returns ErrTerminated (Observation 2.1 applied to the
+// whole stack).
+func AsTerminating() IteratedOption {
+	return func(it *Iterated) { it.terminating = true }
+}
+
+// NewIterated builds the waste-halving (m, w)-Controller over tr with the
+// fixed node bound u.
+func NewIterated(tr *tree.Tree, u, m, w int64, opts ...IteratedOption) *Iterated {
+	it := &Iterated{tr: tr, u: u, w: w, curM: m}
+	for _, opt := range opts {
+		opt(it)
+	}
+	if it.counters == nil {
+		it.counters = stats.NewCounters()
+	}
+	it.startIteration(m)
+	return it
+}
+
+func (it *Iterated) startIteration(m int64) {
+	it.iterations++
+	it.counters.Inc(stats.CounterIterations)
+	it.curM = m
+	if it.w > 0 && m <= 2*it.w {
+		// Final iteration: an (m, W)-controller; rejects allowed unless
+		// the driver is terminating.
+		it.finalPhase = true
+		it.cur = NewCore(it.tr, it.u, m, it.w,
+			WithCounters(it.counters), WithNoRejects())
+		return
+	}
+	it.cur = NewCore(it.tr, it.u, m, maxInt64(m/2, 1),
+		WithCounters(it.counters), WithNoRejects())
+}
+
+// Granted returns the total permits granted across all iterations.
+func (it *Iterated) Granted() int64 { return it.granted }
+
+// Iterations returns the number of iterations started so far.
+func (it *Iterated) Iterations() int { return it.iterations }
+
+// Terminated reports whether a terminating driver has terminated.
+func (it *Iterated) Terminated() bool { return it.terminated }
+
+// Counters returns the shared cost counters.
+func (it *Iterated) Counters() *stats.Counters { return it.counters }
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Submit answers one request. A terminating driver returns ErrTerminated
+// once the permit budget is exhausted; otherwise exhaustion triggers a
+// reject wave and rejects.
+func (it *Iterated) Submit(req Request) (Grant, error) {
+	if it.terminated {
+		return Grant{}, ErrTerminated
+	}
+	if it.rejectAll {
+		it.counters.Inc(stats.CounterRejects)
+		return Grant{Outcome: Rejected}, nil
+	}
+	for attempt := 0; attempt < 128; attempt++ {
+		if it.trivialPhase {
+			return it.submitTrivial(req)
+		}
+		g, err := it.cur.Submit(req)
+		if err != nil {
+			return Grant{}, err
+		}
+		if g.Outcome == Granted {
+			it.granted++
+			return g, nil
+		}
+		if g.Outcome == Rejected {
+			// Only the final phase rejects (reject package present).
+			return g, nil
+		}
+		// WouldReject: the current iteration is exhausted.
+		if it.finalPhase {
+			return it.exhausted()
+		}
+		l := it.cur.UnusedPermits()
+		it.cur.ClearPackages()
+		if it.w == 0 {
+			if l == 0 {
+				return it.exhausted()
+			}
+			it.trivialPhase = true
+			it.trivialLeft = l
+			continue
+		}
+		it.startIteration(l)
+	}
+	return Grant{}, ErrIterationCap
+}
+
+// submitTrivial implements the trivial tail controller used when W = 0:
+// each remaining permit is walked directly from the root to the requesting
+// node, costing its depth in moves.
+func (it *Iterated) submitTrivial(req Request) (Grant, error) {
+	if it.trivialLeft <= 0 {
+		return it.exhausted()
+	}
+	d, err := it.tr.Distance(req.Node, it.tr.Root())
+	if err != nil {
+		return Grant{}, err
+	}
+	it.counters.Add(stats.CounterMoves, int64(d))
+	it.trivialLeft--
+	it.granted++
+	it.counters.Inc(stats.CounterGrants)
+	g := Grant{Outcome: Granted}
+	newNode, err := applyChange(it.tr, req)
+	if err != nil {
+		return Grant{}, err
+	}
+	g.NewNode = newNode
+	if req.Kind != tree.None {
+		it.counters.Inc(stats.CounterTopoChanges)
+	}
+	return g, nil
+}
+
+// exhausted handles global permit exhaustion: terminating drivers
+// terminate; otherwise a reject wave floods the tree and the request is
+// rejected.
+func (it *Iterated) exhausted() (Grant, error) {
+	if it.terminating {
+		it.terminated = true
+		// Broadcast + upcast of Observation 2.1.
+		if n := int64(it.tr.Size()); n > 1 {
+			it.counters.Add(stats.CounterMoves, 2*(n-1))
+		}
+		return Grant{}, ErrTerminated
+	}
+	it.rejectAll = true
+	if n := int64(it.tr.Size()); n > 1 {
+		it.counters.Add(stats.CounterMoves, n-1)
+	}
+	it.counters.Inc(stats.CounterRejects)
+	return Grant{Outcome: Rejected}, nil
+}
+
+// applyChange applies a granted topological request to the tree and returns
+// the id of a created node, if any. It is used by phases that run without
+// package stores (the trivial tail and the baselines).
+func applyChange(tr *tree.Tree, req Request) (tree.NodeID, error) {
+	switch req.Kind {
+	case tree.None:
+		return tree.InvalidNode, nil
+	case tree.AddLeaf:
+		return tr.ApplyAddLeaf(req.Node)
+	case tree.AddInternal:
+		return tr.ApplyAddInternal(req.Child)
+	case tree.RemoveLeaf:
+		return tree.InvalidNode, tr.ApplyRemoveLeaf(req.Node)
+	case tree.RemoveInternal:
+		return tree.InvalidNode, tr.ApplyRemoveInternal(req.Node)
+	default:
+		return tree.InvalidNode, fmt.Errorf("applyChange: unknown kind %v", req.Kind)
+	}
+}

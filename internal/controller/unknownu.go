@@ -1,0 +1,193 @@
+package controller
+
+import (
+	"errors"
+
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Policy selects the iteration rule of the unknown-U controller
+// (Theorem 3.5).
+type Policy int
+
+const (
+	// PolicyChangesQuarter ends iteration i after U_i/4 topological
+	// changes (first part of Theorem 3.5: move complexity
+	// O(n₀log²n₀·log(M/(W+1)) + Σ_j log²n_j·log(M/(W+1)))).
+	PolicyChangesQuarter Policy = iota + 1
+	// PolicyDoubleMaxN ends an iteration when the node count doubles
+	// relative to the maximum simultaneous count seen before the
+	// iteration (second part of Theorem 3.5: O(N·log²N·log(M/(W+1))),
+	// N = max simultaneous nodes). As an implementation guard the
+	// iteration also ends when additions alone reach half that maximum,
+	// keeping the fixed-U assumption of the inner controller valid under
+	// add/remove churn that leaves n flat.
+	PolicyDoubleMaxN
+)
+
+// Dynamic is the (M,W)-Controller for the general case where no fixed bound
+// U on the number of nodes ever to exist is known in advance (Section 3.3).
+// It runs the waste-halving controller in iterations, re-estimating
+// U_i = 2·N_i from the current node count at each iteration start.
+type Dynamic struct {
+	tr       *tree.Tree
+	w        int64
+	policy   Policy
+	counters *stats.Counters
+
+	terminating bool
+	terminated  bool
+	rejectAll   bool
+
+	inner       *Iterated
+	mi          int64
+	ui          int64
+	zi          int64 // topological changes in the current iteration
+	adds        int64 // additions in the current iteration
+	grantedBase int64 // permits granted before this iteration
+	maxSim      int64 // maximum simultaneous node count observed
+	iterations  int
+}
+
+// DynamicOption configures a Dynamic controller.
+type DynamicOption func(*Dynamic)
+
+// WithDynamicCounters shares the cost counters.
+func WithDynamicCounters(c *stats.Counters) DynamicOption {
+	return func(d *Dynamic) { d.counters = c }
+}
+
+// WithPolicy selects the iteration rule (default PolicyChangesQuarter).
+func WithPolicy(p Policy) DynamicOption {
+	return func(d *Dynamic) { d.policy = p }
+}
+
+// DynamicTerminating makes the controller terminating (ErrTerminated on
+// exhaustion instead of rejects).
+func DynamicTerminating() DynamicOption {
+	return func(d *Dynamic) { d.terminating = true }
+}
+
+// NewDynamic builds an unknown-U (m, w)-Controller over tr.
+func NewDynamic(tr *tree.Tree, m, w int64, opts ...DynamicOption) *Dynamic {
+	d := &Dynamic{tr: tr, w: w, policy: PolicyChangesQuarter, mi: m}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.counters == nil {
+		d.counters = stats.NewCounters()
+	}
+	d.maxSim = int64(tr.Size())
+	d.startIteration()
+	return d
+}
+
+func (d *Dynamic) startIteration() {
+	d.iterations++
+	n := int64(d.tr.Size())
+	if n > d.maxSim {
+		d.maxSim = n
+	}
+	switch d.policy {
+	case PolicyDoubleMaxN:
+		d.ui = 2 * d.maxSim
+	default:
+		d.ui = 2 * n
+	}
+	if d.ui < 4 {
+		d.ui = 4
+	}
+	d.zi = 0
+	d.adds = 0
+	d.inner = NewIterated(d.tr, d.ui, d.mi, d.w,
+		WithIteratedCounters(d.counters), AsTerminating())
+	d.grantedBase = d.totalGrantedSoFar()
+}
+
+func (d *Dynamic) totalGrantedSoFar() int64 {
+	return d.counters.Get(stats.CounterGrants)
+}
+
+// Granted returns the total permits granted across all iterations.
+func (d *Dynamic) Granted() int64 { return d.counters.Get(stats.CounterGrants) }
+
+// Iterations returns the number of outer iterations started.
+func (d *Dynamic) Iterations() int { return d.iterations }
+
+// Counters returns the shared cost counters.
+func (d *Dynamic) Counters() *stats.Counters { return d.counters }
+
+// Terminated reports whether a terminating controller has terminated.
+func (d *Dynamic) Terminated() bool { return d.terminated }
+
+// Submit answers one request, restarting the inner controller with fresh
+// U_i and M_i estimates whenever the iteration policy fires.
+func (d *Dynamic) Submit(req Request) (Grant, error) {
+	if d.terminated {
+		return Grant{}, ErrTerminated
+	}
+	if d.rejectAll {
+		d.counters.Inc(stats.CounterRejects)
+		return Grant{Outcome: Rejected}, nil
+	}
+	g, err := d.inner.Submit(req)
+	if errors.Is(err, ErrTerminated) {
+		// Global permit exhaustion: by the liveness of each inner
+		// terminating controller, at least M−W permits were granted in
+		// total.
+		return d.exhausted()
+	}
+	if err != nil {
+		return Grant{}, err
+	}
+	if g.Outcome == Granted && req.Kind != tree.None {
+		d.zi++
+		if req.Kind.IsAddition() {
+			d.adds++
+		}
+		if n := int64(d.tr.Size()); n > d.maxSim {
+			d.maxSim = n
+		}
+		if d.iterationDone() {
+			d.endIteration()
+		}
+	}
+	return g, nil
+}
+
+func (d *Dynamic) iterationDone() bool {
+	switch d.policy {
+	case PolicyDoubleMaxN:
+		startMax := d.ui / 2
+		return int64(d.tr.Size()) >= 2*startMax || d.adds >= maxInt64(startMax/2, 1)
+	default:
+		return d.zi >= maxInt64(d.ui/4, 1)
+	}
+}
+
+// endIteration closes the books on the current iteration: in the
+// centralized setting N_{i+1}, Y_i and the package cleanup are computed
+// directly (the distributed implementation pays O(n) messages for the
+// corresponding broadcast/upcast, see Appendix A).
+func (d *Dynamic) endIteration() {
+	yi := d.totalGrantedSoFar() - d.grantedBase
+	d.mi -= yi
+	if d.mi < 0 {
+		d.mi = 0
+	}
+	d.startIteration()
+}
+
+func (d *Dynamic) exhausted() (Grant, error) {
+	if d.terminating {
+		d.terminated = true
+		return Grant{}, ErrTerminated
+	}
+	d.rejectAll = true
+	if n := int64(d.tr.Size()); n > 1 {
+		d.counters.Add(stats.CounterMoves, n-1)
+	}
+	d.counters.Inc(stats.CounterRejects)
+	return Grant{Outcome: Rejected}, nil
+}

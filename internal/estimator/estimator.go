@@ -1,0 +1,205 @@
+// Package estimator implements the size-estimation protocol of Section 5.1
+// and the subtree estimator of Section 5.3.
+//
+// The protocol runs in iterations. At the start of iteration i the root
+// counts the current number of nodes N_i by a broadcast/upcast and
+// broadcasts it; every node uses N_i as its estimate for the whole
+// iteration. With α = 1 − 1/β, a terminating (αN_i, αN_i/2)-Controller
+// admits the iteration's topological changes, so the true size n stays in
+// [N_i − αN_i, N_i + αN_i] ⊆ [N_i/β, βN_i]: the estimate is a
+// β-approximation at all times. The controller terminates after Ω(N_i)
+// changes, so the amortized message cost per change is O(log²n)
+// (Theorem 5.1).
+package estimator
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// ErrBadBeta is returned when the approximation parameter is not > 1.
+var ErrBadBeta = errors.New("estimator: beta must be greater than 1")
+
+// Estimator maintains, at every node, a β-approximation of the number of
+// nodes in the dynamically changing tree. All topological changes must be
+// requested through RequestChange.
+type Estimator struct {
+	mu       sync.Mutex
+	tr       *tree.Tree
+	rt       sim.Runtime
+	beta     float64
+	counters *stats.Counters
+
+	term      *dist.Terminating
+	ni        int64
+	iteration int
+
+	// Subtree-estimator state (Section 5.3): per-node ω₀ of the current
+	// iteration and the permits seen passing down through each node.
+	subtree bool
+	omega0  map[tree.NodeID]int64
+	passed  map[tree.NodeID]int64
+}
+
+// Option configures an Estimator.
+type Option func(*Estimator)
+
+// WithCounters shares the stats counters.
+func WithCounters(c *stats.Counters) Option {
+	return func(e *Estimator) { e.counters = c }
+}
+
+// WithSubtreeEstimates enables the subtree estimator: every node v also
+// maintains ω̃(v), a β-approximation of its super-weight (the number of
+// descendants that existed at any point since the iteration started).
+func WithSubtreeEstimates() Option {
+	return func(e *Estimator) { e.subtree = true }
+}
+
+// New builds a size estimator over tr with approximation parameter beta.
+func New(tr *tree.Tree, rt sim.Runtime, beta float64, opts ...Option) (*Estimator, error) {
+	if beta <= 1 {
+		return nil, ErrBadBeta
+	}
+	e := &Estimator{tr: tr, rt: rt, beta: beta}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.counters == nil {
+		e.counters = stats.NewCounters()
+	}
+	e.startIteration()
+	return e, nil
+}
+
+// alphaM returns the controller budget ⌊αN⌋ clamped to ≥ 1 so tiny trees
+// still make progress (granting one change on n=1 keeps n ≤ 2 ≤ βN for
+// β ≥ 2; for 1 < β < 2 the clamp only triggers when αN < 1, i.e. N <
+// 1/α, where a single change still respects the bound because N ≥ 1).
+func (e *Estimator) alphaM() int64 {
+	alpha := 1 - 1/e.beta
+	m := int64(alpha * float64(e.ni))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func (e *Estimator) startIteration() {
+	e.iteration++
+	e.counters.Inc(stats.CounterIterations)
+	e.ni = int64(e.tr.Size())
+	// Count N_i (upcast) and broadcast it: 2(n−1) messages; the subtree
+	// variant also computes ω₀(v) in the same upcast.
+	if n := e.ni; n > 1 {
+		e.counters.Add(dist.CounterControl, 2*(n-1))
+	}
+	m := e.alphaM()
+	opts := []dist.CoreOption{}
+	if e.subtree {
+		e.omega0 = make(map[tree.NodeID]int64, e.tr.Size())
+		e.passed = make(map[tree.NodeID]int64, e.tr.Size())
+		for _, id := range e.tr.Nodes() {
+			sz, err := e.tr.SubtreeSize(id)
+			if err == nil {
+				e.omega0[id] = int64(sz)
+			}
+		}
+		opts = append(opts, dist.WithDescentObserver(func(size int64, enters tree.NodeID) {
+			e.passed[enters] += size
+		}))
+	}
+	e.term = dist.NewTerminating(e.tr, e.rt, 2*e.ni+int64(4), m, m/2, e.counters, opts...)
+}
+
+// Iteration returns the current iteration number (1-based).
+func (e *Estimator) Iteration() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.iteration
+}
+
+// Counters returns the shared counters.
+func (e *Estimator) Counters() *stats.Counters { return e.counters }
+
+// Tree returns the tree the estimator runs over.
+func (e *Estimator) Tree() *tree.Tree { return e.tr }
+
+// Estimate returns the node's current estimate ñ(v) of the network size.
+func (e *Estimator) Estimate(v tree.NodeID) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.tr.Contains(v) {
+		return 0, fmt.Errorf("estimate at %d: %w", v, tree.ErrNoSuchNode)
+	}
+	return e.ni, nil
+}
+
+// Beta returns the approximation parameter.
+func (e *Estimator) Beta() float64 { return e.beta }
+
+// SubtreeEstimate returns ω̃(v), the node's estimate of its super-weight.
+// WithSubtreeEstimates must have been enabled.
+func (e *Estimator) SubtreeEstimate(v tree.NodeID) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.subtree {
+		return 0, errors.New("estimator: subtree estimates not enabled")
+	}
+	if !e.tr.Contains(v) {
+		return 0, fmt.Errorf("subtree estimate at %d: %w", v, tree.ErrNoSuchNode)
+	}
+	base, ok := e.omega0[v]
+	if !ok {
+		// The node joined mid-iteration: it counts itself (its parent
+		// tells it ω₀ = 1 on arrival).
+		base = 1
+	}
+	return base + e.passed[v], nil
+}
+
+// RequestChange submits a topological change (or a non-topological event)
+// through the current iteration's controller, rolling over to the next
+// iteration when the controller terminates.
+func (e *Estimator) RequestChange(req controller.Request) (controller.Grant, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for attempt := 0; attempt < 64; attempt++ {
+		g, err := e.term.Submit(req)
+		if errors.Is(err, controller.ErrTerminated) {
+			e.startIteration()
+			continue
+		}
+		if err != nil {
+			return controller.Grant{}, err
+		}
+		return g, nil
+	}
+	return controller.Grant{}, errors.New("estimator: iteration churn without progress")
+}
+
+// Submit implements workload.Submitter.
+func (e *Estimator) Submit(req controller.Request) (controller.Grant, error) {
+	return e.RequestChange(req)
+}
+
+// CheckApproximation verifies the β-approximation invariant at every node
+// and returns the first violation.
+func (e *Estimator) CheckApproximation() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := float64(e.tr.Size())
+	est := float64(e.ni)
+	if est < n/e.beta-1e-9 || est > e.beta*n+1e-9 {
+		return fmt.Errorf("estimate %v outside [n/β, βn] = [%v, %v] (n=%v)",
+			est, n/e.beta, e.beta*n, n)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynctrl/internal/experiments"
+)
+
+// TestExperimentsProduceTables smoke-tests the cheaper experiments: every
+// table must render with a title, headers and at least one data row, and
+// the invariant columns must never report a violation.
+func TestExperimentsProduceTables(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() interface{ String() string }
+	}{
+		{"E6", func() interface{ String() string } { return experiments.E6Liveness() }},
+		{"E13", func() interface{ String() string } { return experiments.E13Memory() }},
+		{"E14", func() interface{ String() string } { return experiments.E14Ablation() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := tc.run().String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("missing title:\n%s", out)
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			if len(lines) < 4 {
+				t.Fatalf("table too short:\n%s", out)
+			}
+			if strings.Contains(out, "false") {
+				t.Fatalf("an invariant column reports a violation:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestE6AllConfigurationsPass asserts the liveness table's ok column.
+func TestE6AllConfigurationsPass(t *testing.T) {
+	tb := experiments.E6Liveness()
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("configuration failed: %v", row)
+		}
+	}
+}
+
+// TestE14OccupancyBelowBound asserts the ablation's occupancy column stays
+// below 1 (the domain-invariant bound).
+func TestE14OccupancyBelowBound(t *testing.T) {
+	tb := experiments.E14Ablation()
+	if len(tb.Rows) == 0 {
+		t.Fatal("no occupancy rows; the workload should span several levels")
+	}
+	for _, row := range tb.Rows {
+		occ := row[len(row)-1]
+		if strings.HasPrefix(occ, "1") && occ != "1.000" || strings.HasPrefix(occ, "2") {
+			t.Fatalf("occupancy %s reaches the bound: %v", occ, row)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package naming implements the name-assignment protocol of Section 5.2:
+// every node of the dynamic tree holds a short unique identity — an integer
+// in [1, 4n] where n is the current number of nodes — at all times.
+//
+// The protocol runs in iterations. At the start of iteration i (with N_i
+// current nodes) two DFS traversals relabel the tree: the first assigns the
+// temporary identity 3N_i + DFS(v), the second assigns DFS(v). Identities
+// therefore stay unique during the relabeling. A terminating
+// (N_i/2, N_i/4)-Controller with explicit permit serials in
+// [N_i+1, 3N_i/2] then admits the iteration's changes: a node added during
+// the iteration takes its permit's serial as its identity.
+package naming
+
+import (
+	"errors"
+	"fmt"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/pkgstore"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Naming maintains short unique node identities under controlled
+// topological changes.
+type Naming struct {
+	tr       *tree.Tree
+	rt       sim.Runtime
+	counters *stats.Counters
+
+	term      *dist.Terminating
+	ni        int64
+	iteration int
+	ids       map[tree.NodeID]int64
+}
+
+// New builds the name-assignment protocol over tr. Initial identities are
+// assigned by a DFS traversal (the paper assumes initial identities in
+// [1, n₀]; the traversal realizes that).
+func New(tr *tree.Tree, rt sim.Runtime, counters *stats.Counters) *Naming {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	nm := &Naming{tr: tr, rt: rt, counters: counters, ids: make(map[tree.NodeID]int64)}
+	for id, num := range tr.DFSNumbers() {
+		nm.ids[id] = int64(num)
+	}
+	nm.startIteration()
+	return nm
+}
+
+func (nm *Naming) startIteration() {
+	nm.iteration++
+	nm.counters.Inc(stats.CounterIterations)
+	nm.ni = int64(nm.tr.Size())
+
+	// Two DFS relabeling traversals (2·2(n−1) messages) plus the
+	// broadcast/upcast that counts N_i.
+	if n := nm.ni; n > 1 {
+		nm.counters.Add(dist.CounterControl, 6*(n-1))
+	}
+	if nm.iteration > 1 {
+		// First traversal: id(v) = 3N_i + DFS(v); second: id(v) = DFS(v).
+		// Identities remain unique throughout because old identities lie
+		// in [1, 3N_i] (proved by induction in Section 5.2); the final
+		// state is all that is observable between requests.
+		for id, num := range nm.tr.DFSNumbers() {
+			nm.ids[id] = int64(num)
+		}
+	}
+
+	m := nm.ni / 2
+	if m < 1 {
+		m = 1
+	}
+	w := nm.ni / 4
+	serialLo := nm.ni + 1
+	serials := pkgstore.Interval{Lo: serialLo, Hi: serialLo + m - 1}
+	nm.term = dist.NewTerminating(nm.tr, nm.rt, 2*nm.ni+4, m, w, nm.counters,
+		dist.WithSerials(serials))
+}
+
+// Iteration returns the 1-based iteration number.
+func (nm *Naming) Iteration() int { return nm.iteration }
+
+// Tree returns the tree the protocol maintains names for.
+func (nm *Naming) Tree() *tree.Tree { return nm.tr }
+
+// Counters returns the shared counters.
+func (nm *Naming) Counters() *stats.Counters { return nm.counters }
+
+// ID returns the current identity of a node.
+func (nm *Naming) ID(v tree.NodeID) (int64, error) {
+	id, ok := nm.ids[v]
+	if !ok {
+		return 0, fmt.Errorf("naming: no identity for %d: %w", v, tree.ErrNoSuchNode)
+	}
+	return id, nil
+}
+
+// RequestChange submits a topological change; added nodes receive their
+// permit serial as identity.
+func (nm *Naming) RequestChange(req controller.Request) (controller.Grant, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		g, err := nm.term.Submit(req)
+		if errors.Is(err, controller.ErrTerminated) {
+			nm.startIteration()
+			continue
+		}
+		if err != nil {
+			return controller.Grant{}, err
+		}
+		if g.Outcome == controller.Granted {
+			switch req.Kind {
+			case tree.AddLeaf, tree.AddInternal:
+				nm.ids[g.NewNode] = g.Serial
+			case tree.RemoveLeaf, tree.RemoveInternal:
+				delete(nm.ids, req.Node)
+			}
+		}
+		return g, nil
+	}
+	return controller.Grant{}, errors.New("naming: iteration churn without progress")
+}
+
+// Submit implements workload.Submitter.
+func (nm *Naming) Submit(req controller.Request) (controller.Grant, error) {
+	return nm.RequestChange(req)
+}
+
+// CheckInvariants verifies that every live node has an identity, the
+// identities are unique, and each lies in [1, 4n] (Section 5.2's guarantee;
+// a small additive slack covers trees below 4 nodes, where integrality of
+// N_i/2 makes the constant coarse).
+func (nm *Naming) CheckInvariants() error {
+	n := int64(nm.tr.Size())
+	seen := make(map[int64]tree.NodeID, n)
+	for _, v := range nm.tr.Nodes() {
+		id, ok := nm.ids[v]
+		if !ok {
+			return fmt.Errorf("naming: node %d has no identity", v)
+		}
+		if id < 1 {
+			return fmt.Errorf("naming: node %d has non-positive identity %d", v, id)
+		}
+		if other, dup := seen[id]; dup {
+			return fmt.Errorf("naming: identity %d shared by %d and %d", id, v, other)
+		}
+		seen[id] = v
+		if id > 4*n+4 {
+			return fmt.Errorf("naming: identity %d exceeds 4n+4 = %d (n=%d)", id, 4*n+4, n)
+		}
+	}
+	if int64(len(seen)) != n {
+		return fmt.Errorf("naming: %d identities for %d nodes", len(seen), n)
+	}
+	return nil
+}

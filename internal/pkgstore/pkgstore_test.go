@@ -1,0 +1,376 @@
+package pkgstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewParamsSmallW(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	if p.Phi != 1 {
+		t.Fatalf("Phi = %d, want 1 (W < 2U)", p.Phi)
+	}
+	// ψ = 4·(⌈log2 16⌉+2)·⌈16/1⌉ = 4·6·16 = 384.
+	if p.Psi != 384 {
+		t.Fatalf("Psi = %d, want 384", p.Psi)
+	}
+	if p.Psi%4 != 0 {
+		t.Fatalf("Psi = %d must be divisible by 4", p.Psi)
+	}
+}
+
+func TestNewParamsLargeW(t *testing.T) {
+	p := NewParams(10, 1000, 200)
+	// φ = ⌊200/20⌋ = 10.
+	if p.Phi != 10 {
+		t.Fatalf("Phi = %d, want 10", p.Phi)
+	}
+	// ψ = 4·(⌈log2 10⌉+2)·max(⌈10/200⌉,1) = 4·6·1 = 24.
+	if p.Psi != 24 {
+		t.Fatalf("Psi = %d, want 24", p.Psi)
+	}
+}
+
+func TestNewParamsClamps(t *testing.T) {
+	p := NewParams(0, 5, 0)
+	if p.U != 1 || p.W != 1 {
+		t.Fatalf("U, W = %d, %d; want clamped to 1, 1", p.U, p.W)
+	}
+	if p.Phi < 1 || p.Psi < 1 {
+		t.Fatalf("Phi=%d Psi=%d must be positive", p.Phi, p.Psi)
+	}
+}
+
+func TestMobileSizeAndDistances(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	if got := p.MobileSize(0); got != p.Phi {
+		t.Fatalf("MobileSize(0) = %d, want φ=%d", got, p.Phi)
+	}
+	if got := p.MobileSize(3); got != 8*p.Phi {
+		t.Fatalf("MobileSize(3) = %d, want 8φ", got)
+	}
+	if got := p.UKDistance(0); got != 3*p.Psi/2 {
+		t.Fatalf("UKDistance(0) = %d, want 3ψ/2 = %d", got, 3*p.Psi/2)
+	}
+	if got := p.UKDistance(2); got != 6*p.Psi {
+		t.Fatalf("UKDistance(2) = %d, want 6ψ", got)
+	}
+	if got := p.DomainSize(0); got != p.Psi/2 {
+		t.Fatalf("DomainSize(0) = %d, want ψ/2", got)
+	}
+	if got := p.DomainSize(3); got != 4*p.Psi {
+		t.Fatalf("DomainSize(3) = %d, want 4ψ", got)
+	}
+}
+
+func TestIsFillerDistance(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	psi := p.Psi
+	tests := []struct {
+		level int
+		d     int64
+		want  bool
+	}{
+		{0, 0, true},
+		{0, 2 * psi, true},
+		{0, 2*psi + 1, false},
+		{1, 2 * psi, false},     // boundary excluded (strict >)
+		{1, 2*psi + 1, true},    // just inside
+		{1, 4 * psi, true},      // upper boundary included
+		{1, 4*psi + 1, false},   // above
+		{2, 4*psi + 1, true},    // level-2 window starts after 4ψ
+		{2, 8 * psi, true},      //
+		{2, 8*psi + 100, false}, //
+	}
+	for _, tc := range tests {
+		if got := p.IsFillerDistance(tc.level, tc.d); got != tc.want {
+			t.Fatalf("IsFillerDistance(%d, %d) = %v, want %v", tc.level, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestRootLevel(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	psi := p.Psi
+	tests := []struct {
+		d    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2 * psi, 0}, {2*psi + 1, 1}, {4 * psi, 1}, {4*psi + 1, 2}, {16 * psi, 3},
+	}
+	for _, tc := range tests {
+		if got := p.RootLevel(tc.d); got != tc.want {
+			t.Fatalf("RootLevel(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	// Consistency: the root at distance d must satisfy the filler condition
+	// for a fresh package at level RootLevel(d), for any d ≥ 1.
+	for d := int64(1); d < 40*psi; d += 7 {
+		j := p.RootLevel(d)
+		if !p.IsFillerDistance(j, d) {
+			t.Fatalf("RootLevel(%d)=%d does not satisfy filler condition", d, j)
+		}
+	}
+}
+
+func TestIntervalSplit(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 17}
+	lo, hi, err := iv.Split()
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if lo != (Interval{10, 13}) || hi != (Interval{14, 17}) {
+		t.Fatalf("Split = %v, %v", lo, hi)
+	}
+	if _, _, err := (Interval{1, 3}).Split(); err == nil {
+		t.Fatal("odd split should fail")
+	}
+	if (Interval{}).Valid() {
+		t.Fatal("zero interval should be invalid")
+	}
+	if (Interval{5, 4}).Len() != 0 {
+		t.Fatal("inverted interval should have length 0")
+	}
+}
+
+func TestPackageSplitChain(t *testing.T) {
+	p := NewParams(16, 1000, 1)
+	pk := NewMobile(p, 3)
+	if pk.Size != 8*p.Phi {
+		t.Fatalf("level-3 size = %d, want 8φ", pk.Size)
+	}
+	p1, p2, err := pk.Split()
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if p1.Level != 2 || p2.Level != 2 || p1.Size != 4*p.Phi || p2.Size != 4*p.Phi {
+		t.Fatalf("split results wrong: %+v %+v", p1, p2)
+	}
+	if pk.Size != 0 {
+		t.Fatal("split must consume the source package")
+	}
+	// Chain down to level 0 and convert to static.
+	cur := p2
+	for cur.Level > 0 {
+		_, cur, err = cur.Split()
+		if err != nil {
+			t.Fatalf("Split at level %d: %v", cur.Level, err)
+		}
+	}
+	if err := cur.BecomeStatic(); err != nil {
+		t.Fatalf("BecomeStatic: %v", err)
+	}
+	if cur.Mobile || cur.Size != p.Phi {
+		t.Fatalf("static conversion wrong: %+v", cur)
+	}
+	if _, _, err := cur.Split(); !errors.Is(err, ErrNotMobile) {
+		t.Fatalf("splitting static: err = %v, want ErrNotMobile", err)
+	}
+}
+
+func TestSplitLevelZeroFails(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	pk := NewMobile(p, 0)
+	if _, _, err := pk.Split(); !errors.Is(err, ErrLevelZero) {
+		t.Fatalf("err = %v, want ErrLevelZero", err)
+	}
+	if err := NewMobile(p, 1).BecomeStatic(); err == nil {
+		t.Fatal("BecomeStatic at level 1 should fail")
+	}
+}
+
+func TestSerialsSplitAndGrant(t *testing.T) {
+	p := NewParams(4, 64, 1) // φ = 1
+	pk, err := NewMobileWithSerials(p, 2, Interval{Lo: 100, Hi: 103})
+	if err != nil {
+		t.Fatalf("NewMobileWithSerials: %v", err)
+	}
+	p1, p2, err := pk.Split()
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if p1.Serials != (Interval{100, 101}) || p2.Serials != (Interval{102, 103}) {
+		t.Fatalf("serials after split: %v %v", p1.Serials, p2.Serials)
+	}
+	_, q2, err := p2.Split()
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if err := q2.BecomeStatic(); err != nil {
+		t.Fatalf("BecomeStatic: %v", err)
+	}
+	serial, empty, err := q2.TakePermit()
+	if err != nil {
+		t.Fatalf("TakePermit: %v", err)
+	}
+	if serial != 103 || !empty {
+		t.Fatalf("TakePermit = %d, empty=%v; want 103, true", serial, empty)
+	}
+	if _, _, err := q2.TakePermit(); !errors.Is(err, ErrEmptyStatic) {
+		t.Fatalf("TakePermit on empty: %v, want ErrEmptyStatic", err)
+	}
+	if _, err := NewMobileWithSerials(p, 2, Interval{Lo: 1, Hi: 2}); err == nil {
+		t.Fatal("mismatched serial interval should fail")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	s := NewStore()
+	if !s.Empty() {
+		t.Fatal("new store should be empty")
+	}
+	m0 := NewMobile(p, 0)
+	m2 := NewMobile(p, 2)
+	s.AddMobile(m0)
+	s.AddMobile(m2)
+	st := NewMobile(p, 0)
+	if err := st.BecomeStatic(); err != nil {
+		t.Fatalf("BecomeStatic: %v", err)
+	}
+	s.AddStatic(st)
+
+	if got := s.PermitCount(); got != m0.Size+m2.Size+st.Size {
+		t.Fatalf("PermitCount = %d", got)
+	}
+	if s.Static() != st {
+		t.Fatal("Static() should return the stored static package")
+	}
+	// Filler lookup prefers the smallest qualifying level.
+	if got := s.MobileAtFillerDistance(p, p.Psi); got != m0 {
+		t.Fatalf("filler at d=ψ = %+v, want level-0 package", got)
+	}
+	if got := s.MobileAtFillerDistance(p, 5*p.Psi); got != m2 {
+		t.Fatalf("filler at d=5ψ = %+v, want level-2 package", got)
+	}
+	if got := s.MobileAtFillerDistance(p, 3*p.Psi); got != nil {
+		t.Fatalf("filler at d=3ψ = %+v, want nil", got)
+	}
+	if err := s.RemoveMobile(m2); err != nil {
+		t.Fatalf("RemoveMobile: %v", err)
+	}
+	if err := s.RemoveMobile(m2); !errors.Is(err, ErrNotInStore) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := s.RemoveStatic(st); err != nil {
+		t.Fatalf("RemoveStatic: %v", err)
+	}
+}
+
+func TestStoreRejectAndClear(t *testing.T) {
+	s := NewStore()
+	if s.HasReject() {
+		t.Fatal("no reject initially")
+	}
+	s.SetReject()
+	if !s.HasReject() {
+		t.Fatal("reject flag lost")
+	}
+	s.ClearReject()
+	if s.HasReject() {
+		t.Fatal("ClearReject failed")
+	}
+	s.SetReject()
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear should empty the store")
+	}
+}
+
+func TestStoreTakeAllAbsorb(t *testing.T) {
+	p := NewParams(16, 100, 1)
+	donor := NewStore()
+	donor.SetReject()
+	donor.AddMobile(NewMobile(p, 1))
+	st := NewMobile(p, 0)
+	if err := st.BecomeStatic(); err != nil {
+		t.Fatal(err)
+	}
+	donor.AddStatic(st)
+
+	pkgs, hadReject := donor.TakeAll()
+	if len(pkgs) != 2 || !hadReject {
+		t.Fatalf("TakeAll = %d pkgs, reject=%v; want 2, true", len(pkgs), hadReject)
+	}
+	if len(donor.Mobiles()) != 0 || len(donor.Statics()) != 0 {
+		t.Fatal("TakeAll should empty the donor's packages")
+	}
+
+	parent := NewStore()
+	parent.Absorb(pkgs, hadReject)
+	if !parent.HasReject() {
+		t.Fatal("parent should inherit reject")
+	}
+	if got := parent.PermitCount(); got != st.Size+p.MobileSize(1) {
+		t.Fatalf("parent PermitCount = %d", got)
+	}
+	// Absorb drops empty packages.
+	empty := &Package{Mobile: true, Level: 0, Size: 0}
+	parent.Absorb([]*Package{empty}, false)
+	for _, m := range parent.Mobiles() {
+		if m == empty {
+			t.Fatal("empty package absorbed")
+		}
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	p := NewParams(1024, 1<<20, 1)
+	s := NewStore()
+	base := s.MemoryBits(p)
+	if base != 1 {
+		t.Fatalf("empty store bits = %d, want 1", base)
+	}
+	s.AddMobile(NewMobile(p, 0))
+	s.AddMobile(NewMobile(p, 0)) // same level: still one counter
+	oneLevel := s.MemoryBits(p)
+	s.AddMobile(NewMobile(p, 5))
+	twoLevels := s.MemoryBits(p)
+	if twoLevels-oneLevel != oneLevel-base {
+		t.Fatalf("per-level cost inconsistent: %d, %d, %d", base, oneLevel, twoLevels)
+	}
+	st := NewMobile(p, 0)
+	if err := st.BecomeStatic(); err != nil {
+		t.Fatal(err)
+	}
+	s.AddStatic(st)
+	if s.MemoryBits(p) <= twoLevels {
+		t.Fatal("static packages should add O(log M) bits")
+	}
+}
+
+func TestSplitPreservesPermitsProperty(t *testing.T) {
+	// Property: any sequence of splits preserves the total permit count,
+	// and every produced mobile package has size 2^level·φ.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewParams(64, 1<<20, int64(1+rng.Intn(1000)))
+		level := 1 + rng.Intn(6)
+		root := NewMobile(p, level)
+		total := root.Size
+		queue := []*Package{root}
+		var sum int64
+		for len(queue) > 0 {
+			pk := queue[0]
+			queue = queue[1:]
+			if pk.Level > 0 && rng.Intn(2) == 0 {
+				p1, p2, err := pk.Split()
+				if err != nil {
+					return false
+				}
+				queue = append(queue, p1, p2)
+				continue
+			}
+			if pk.Size != p.MobileSize(pk.Level) {
+				return false
+			}
+			sum += pk.Size
+		}
+		return sum == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim provides the asynchronous message-passing substrate for the
+// distributed controller (Section 4 of the paper).
+//
+// The paper assumes a standard point-to-point asynchronous network: every
+// message incurs an arbitrary but finite delay. Two runtimes realize this:
+//
+//   - Deterministic: a seeded scheduler that repeatedly picks a random
+//     in-flight message and delivers it. Runs are reproducible for a given
+//     seed while still exploring adversarial interleavings.
+//   - Concurrent: worker goroutines deliver messages in parallel; the
+//     Go scheduler provides the nondeterminism. Used to validate that the
+//     algorithm's correctness does not depend on the delivery schedule.
+//
+// The runtime does not know about nodes or topology: it moves opaque
+// envelopes and counts them (message complexity), delegating all semantics
+// to a single handler installed by the distributed controller.
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dynctrl/internal/tree"
+)
+
+// Message is one in-flight envelope.
+type Message struct {
+	From    tree.NodeID
+	To      tree.NodeID
+	Payload any
+}
+
+// Handler processes one delivered message. Handlers may call Runtime.Send
+// to emit further messages. The runtime guarantees handlers never run
+// concurrently with each other (delivery is serialized), which models the
+// paper's "only one agent is active at a node at one time" and keeps the
+// controller state free of data races; the Concurrent runtime still
+// delivers in scheduler-dependent order.
+type Handler func(m Message)
+
+// Runtime is the message transport shared by both schedulers.
+type Runtime interface {
+	// SetHandler installs the delivery handler. Must be called before
+	// any Send.
+	SetHandler(h Handler)
+	// Send enqueues a message. Safe to call from within handlers.
+	Send(from, to tree.NodeID, payload any)
+	// Drain delivers messages until none remain in flight.
+	Drain()
+	// Messages returns the number of messages delivered so far.
+	Messages() int64
+	// InFlightTo reports how many undelivered messages target id (the
+	// graceful-deletion handshake uses this to know an edge is quiet).
+	InFlightTo(id tree.NodeID) int
+}
+
+// Deterministic delivers messages one at a time in an order chosen by a
+// seeded RNG. It is single-threaded: Send and Drain must be called from one
+// goroutine (handlers run inside Drain).
+type Deterministic struct {
+	rng       *rand.Rand
+	handler   Handler
+	queue     []Message
+	inTo      map[tree.NodeID]int
+	delivered int64
+}
+
+// NewDeterministic returns a deterministic runtime with the given seed.
+func NewDeterministic(seed int64) *Deterministic {
+	return &Deterministic{
+		rng:  rand.New(rand.NewSource(seed)),
+		inTo: make(map[tree.NodeID]int),
+	}
+}
+
+var _ Runtime = (*Deterministic)(nil)
+
+// SetHandler implements Runtime.
+func (d *Deterministic) SetHandler(h Handler) { d.handler = h }
+
+// Send implements Runtime.
+func (d *Deterministic) Send(from, to tree.NodeID, payload any) {
+	d.queue = append(d.queue, Message{From: from, To: to, Payload: payload})
+	d.inTo[to]++
+}
+
+// Drain implements Runtime: it delivers queued messages in seeded-random
+// order until the queue is empty.
+func (d *Deterministic) Drain() {
+	for len(d.queue) > 0 {
+		i := d.rng.Intn(len(d.queue))
+		m := d.queue[i]
+		last := len(d.queue) - 1
+		d.queue[i] = d.queue[last]
+		d.queue = d.queue[:last]
+		d.inTo[m.To]--
+		if d.inTo[m.To] == 0 {
+			delete(d.inTo, m.To)
+		}
+		d.delivered++
+		d.handler(m)
+	}
+}
+
+// Messages implements Runtime.
+func (d *Deterministic) Messages() int64 { return d.delivered }
+
+// InFlightTo implements Runtime.
+func (d *Deterministic) InFlightTo(id tree.NodeID) int { return d.inTo[id] }
+
+// Concurrent delivers messages from a pool of worker goroutines. Handler
+// executions are serialized by a dedicated mutex (the semantics require
+// atomicity at nodes), but the *order* of deliveries is decided by the Go
+// scheduler, so repeated runs explore different asynchronous interleavings.
+type Concurrent struct {
+	qmu     sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	inTo    map[tree.NodeID]int
+	pending int // queued + currently-being-handled messages
+
+	hmu     sync.Mutex // serializes handler executions
+	handler Handler
+
+	delivered atomic.Int64
+	workers   int
+}
+
+// NewConcurrent returns a concurrent runtime with the given worker count
+// (minimum 1).
+func NewConcurrent(workers int) *Concurrent {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Concurrent{
+		inTo:    make(map[tree.NodeID]int),
+		workers: workers,
+	}
+	c.cond = sync.NewCond(&c.qmu)
+	return c
+}
+
+var _ Runtime = (*Concurrent)(nil)
+
+// SetHandler implements Runtime.
+func (c *Concurrent) SetHandler(h Handler) { c.handler = h }
+
+// Send implements Runtime. Safe for concurrent use, including from within
+// handlers.
+func (c *Concurrent) Send(from, to tree.NodeID, payload any) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, Message{From: from, To: to, Payload: payload})
+	c.inTo[to]++
+	c.pending++
+	c.qmu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Drain implements Runtime: workers deliver until no messages remain in
+// flight or in execution.
+func (c *Concurrent) Drain() {
+	var wg sync.WaitGroup
+	for i := 0; i < c.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c.step() {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// step delivers one message; it returns false when the runtime is
+// quiescent (nothing queued, nothing executing).
+func (c *Concurrent) step() bool {
+	c.qmu.Lock()
+	for len(c.queue) == 0 && c.pending > 0 {
+		c.cond.Wait()
+	}
+	if len(c.queue) == 0 {
+		// pending == 0: quiescent; release any other waiting workers.
+		c.qmu.Unlock()
+		c.cond.Broadcast()
+		return false
+	}
+	last := len(c.queue) - 1
+	m := c.queue[last]
+	c.queue = c.queue[:last]
+	c.inTo[m.To]--
+	if c.inTo[m.To] == 0 {
+		delete(c.inTo, m.To)
+	}
+	c.qmu.Unlock()
+
+	c.hmu.Lock()
+	c.handler(m)
+	c.hmu.Unlock()
+	c.delivered.Add(1)
+
+	c.qmu.Lock()
+	c.pending--
+	quiescent := c.pending == 0 && len(c.queue) == 0
+	c.qmu.Unlock()
+	if quiescent {
+		c.cond.Broadcast()
+	}
+	return true
+}
+
+// Messages implements Runtime.
+func (c *Concurrent) Messages() int64 { return c.delivered.Load() }
+
+// InFlightTo implements Runtime.
+func (c *Concurrent) InFlightTo(id tree.NodeID) int {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return c.inTo[id]
+}

@@ -1,0 +1,231 @@
+// Package stats provides counters and table formatting shared by the
+// controller implementations, the benchmark harness and the CLIs.
+//
+// The paper's cost measures are move complexity (centralized setting) and
+// message complexity (distributed setting); both are pure event counts, so
+// a Counters value simply accumulates named tallies. Series and Table help
+// the benchmark harness print the parameter sweeps recorded in
+// EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters accumulates named event counts. It is safe for concurrent use.
+type Counters struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{counts: make(map[string]int64)}
+}
+
+// Add adds delta to the named counter.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[name] += delta
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[string]int64)
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by name.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
+// Canonical counter names used across the repository.
+const (
+	// CounterMoves counts centralized move complexity (one unit per move
+	// of a set of objects across one tree edge, Section 2.2).
+	CounterMoves = "moves"
+	// CounterMessages counts distributed message complexity.
+	CounterMessages = "messages"
+	// CounterGrants counts permits granted to requests.
+	CounterGrants = "grants"
+	// CounterRejects counts rejects delivered to requests.
+	CounterRejects = "rejects"
+	// CounterTopoChanges counts applied topological changes.
+	CounterTopoChanges = "topo-changes"
+	// CounterIterations counts driver iterations (Obs 3.4 / Thm 3.5).
+	CounterIterations = "iterations"
+)
+
+// Point is one (x, y) measurement in a parameter sweep.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of measurements.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a measurement.
+func (s *Series) Append(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// GrowthExponent estimates b in y = a*x^b by least squares over log-log
+// transformed points. It reports NaN with fewer than two points or
+// non-positive coordinates.
+func (s *Series) GrowthExponent() float64 {
+	var xs, ys []float64
+	for _, p := range s.Points {
+		if p.X > 0 && p.Y > 0 {
+			xs = append(xs, math.Log(p.X))
+			ys = append(ys, math.Log(p.Y))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Table is a simple column-aligned text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one formatted row; cells are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Log2 returns log base 2 of n, with Log2(x<=1) = 0 to keep ratio
+// denominators finite.
+func Log2(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(n)
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1).
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	v := 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

@@ -1,0 +1,56 @@
+package tree
+
+import "math/rand"
+
+// PortAssigner produces port numbers for newly attached edges. The paper
+// assumes the "wasteful" model in which an adversary chooses the port
+// numbers, subject only to the numbers at each vertex being distinct and
+// encodable in O(log N) bits.
+type PortAssigner interface {
+	// Assign returns a port number for a new edge at node id that does not
+	// collide with any port in used.
+	Assign(id NodeID, used map[int]struct{}) int
+}
+
+// SequentialPorts assigns the smallest unused non-negative port number at
+// each node. It models the friendly "designer port" regime.
+type SequentialPorts struct{}
+
+// NewSequentialPorts returns a SequentialPorts assigner.
+func NewSequentialPorts() *SequentialPorts { return &SequentialPorts{} }
+
+// Assign implements PortAssigner.
+func (*SequentialPorts) Assign(_ NodeID, used map[int]struct{}) int {
+	for p := 0; ; p++ {
+		if _, taken := used[p]; !taken {
+			return p
+		}
+	}
+}
+
+// AdversarialPorts assigns pseudo-random port numbers drawn from a large
+// range, modeling an adversary that scatters the port space (while keeping
+// ports O(log N)-bit encodable).
+type AdversarialPorts struct {
+	rng *rand.Rand
+}
+
+// NewAdversarialPorts returns an adversarial assigner seeded with seed.
+func NewAdversarialPorts(seed int64) *AdversarialPorts {
+	return &AdversarialPorts{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Assign implements PortAssigner.
+func (a *AdversarialPorts) Assign(_ NodeID, used map[int]struct{}) int {
+	for {
+		p := a.rng.Intn(1 << 30)
+		if _, taken := used[p]; !taken {
+			return p
+		}
+	}
+}
+
+var (
+	_ PortAssigner = (*SequentialPorts)(nil)
+	_ PortAssigner = (*AdversarialPorts)(nil)
+)

@@ -1,0 +1,136 @@
+package tree
+
+import "fmt"
+
+// WalkDFS visits every live node in depth-first preorder starting at the
+// root, calling fn with the node id and its DFS number (1-based, in visit
+// order). Children are visited in insertion order, so the numbering is
+// deterministic for a given construction history. If fn returns false, the
+// walk stops early.
+func (t *Tree) WalkDFS(fn func(id NodeID, dfsNum int) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	num := 0
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		num++
+		if !fn(id, num) {
+			return
+		}
+		n := t.nodes[id]
+		// Push children in reverse so they pop in insertion order.
+		for i := len(n.children) - 1; i >= 0; i-- {
+			stack = append(stack, n.children[i])
+		}
+	}
+}
+
+// DFSNumbers returns a map from live node id to 1-based DFS preorder number.
+func (t *Tree) DFSNumbers() map[NodeID]int {
+	out := make(map[NodeID]int, t.Size())
+	t.WalkDFS(func(id NodeID, num int) bool {
+		out[id] = num
+		return true
+	})
+	return out
+}
+
+// Intervals returns, for every live node, the half-open DFS interval
+// [pre, post] such that v is an ancestor of u iff interval(v) contains
+// interval(u). pre is the 1-based preorder number; post is the largest
+// preorder number in v's subtree. This is the classic Kannan-Naor-Rudich
+// ancestry encoding used by the labeling application.
+func (t *Tree) Intervals() map[NodeID][2]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[NodeID][2]int, len(t.nodes))
+	num := 0
+	var visit func(id NodeID)
+	visit = func(id NodeID) {
+		num++
+		pre := num
+		n := t.nodes[id]
+		for _, c := range n.children {
+			visit(c)
+		}
+		out[id] = [2]int{pre, num}
+	}
+	visit(t.root)
+	return out
+}
+
+// SubtreeSize returns the number of live nodes in the subtree rooted at id.
+func (t *Tree) SubtreeSize(id NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if _, ok := t.nodes[id]; !ok {
+		return 0, fmt.Errorf("subtree size of %d: %w", id, ErrNoSuchNode)
+	}
+	count := 0
+	stack := []NodeID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		stack = append(stack, t.nodes[cur].children...)
+	}
+	return count, nil
+}
+
+// Height returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	max := 0
+	for _, n := range t.nodes {
+		if n.depth > max {
+			max = n.depth
+		}
+	}
+	return max
+}
+
+// NCA returns the nearest common ancestor of u and v.
+func (t *Tree) NCA(u, v NodeID) (NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	un, ok := t.nodes[u]
+	if !ok {
+		return InvalidNode, fmt.Errorf("nca of %d: %w", u, ErrNoSuchNode)
+	}
+	vn, ok := t.nodes[v]
+	if !ok {
+		return InvalidNode, fmt.Errorf("nca of %d: %w", v, ErrNoSuchNode)
+	}
+	for un.depth > vn.depth {
+		un = t.nodes[un.parent]
+	}
+	for vn.depth > un.depth {
+		vn = t.nodes[vn.parent]
+	}
+	for un.id != vn.id {
+		un = t.nodes[un.parent]
+		vn = t.nodes[vn.parent]
+	}
+	return un.id, nil
+}
+
+// TreeDistance returns the hop distance between two arbitrary live nodes
+// (through their nearest common ancestor).
+func (t *Tree) TreeDistance(u, v NodeID) (int, error) {
+	w, err := t.NCA(u, v)
+	if err != nil {
+		return 0, err
+	}
+	du, err := t.Distance(u, w)
+	if err != nil {
+		return 0, err
+	}
+	dv, err := t.Distance(v, w)
+	if err != nil {
+		return 0, err
+	}
+	return du + dv, nil
+}

@@ -1,0 +1,628 @@
+// Package tree implements the dynamic rooted spanning tree substrate used
+// by the controller and its applications.
+//
+// The tree supports the four topological changes of the paper (Section 2.1):
+//
+//   - AddLeaf: a new degree-one vertex is added as a child of an existing
+//     vertex.
+//   - RemoveLeaf: a non-root vertex of degree one is deleted.
+//   - AddInternal: an edge (v, w) is split into (v, u) and (u, w) for a new
+//     node u.
+//   - RemoveInternal: a non-root node u is deleted; u's children become
+//     children of u's parent.
+//
+// Port numbers at every vertex are distinct and, to model the paper's
+// adversarial port assumption, are produced by a pluggable PortAssigner.
+//
+// A Tree is safe for concurrent use.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NodeID identifies a node of the dynamic tree. IDs are never reused, so a
+// NodeID also identifies a deleted node unambiguously.
+type NodeID int64
+
+// InvalidNode is the zero NodeID; it never names a real node.
+const InvalidNode NodeID = 0
+
+// Errors returned by topological operations.
+var (
+	ErrNoSuchNode    = errors.New("tree: no such node")
+	ErrNotLeaf       = errors.New("tree: node is not a leaf")
+	ErrNotInternal   = errors.New("tree: node is not internal")
+	ErrIsRoot        = errors.New("tree: operation not allowed on the root")
+	ErrNotRelated    = errors.New("tree: nodes are not in a parent-child relation")
+	ErrDeleted       = errors.New("tree: node was deleted")
+	ErrAlreadyExists = errors.New("tree: node already exists")
+)
+
+// ChangeKind enumerates the topological change types of Section 2.1.
+type ChangeKind int
+
+// The four topological change kinds, plus None for non-topological events.
+const (
+	None ChangeKind = iota
+	AddLeaf
+	RemoveLeaf
+	AddInternal
+	RemoveInternal
+)
+
+// String returns the paper's name for the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case AddLeaf:
+		return "add-leaf"
+	case RemoveLeaf:
+		return "remove-leaf"
+	case AddInternal:
+		return "add-internal"
+	case RemoveInternal:
+		return "remove-internal"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// IsRemoval reports whether the change deletes a node.
+func (k ChangeKind) IsRemoval() bool { return k == RemoveLeaf || k == RemoveInternal }
+
+// IsAddition reports whether the change inserts a node.
+func (k ChangeKind) IsAddition() bool { return k == AddLeaf || k == AddInternal }
+
+// Change records one applied topological change.
+type Change struct {
+	Kind ChangeKind
+	// Node is the node added or removed.
+	Node NodeID
+	// Parent is the parent of Node at the time of the change.
+	Parent NodeID
+	// Seq is the 1-based sequence number of the change within its tree.
+	Seq uint64
+}
+
+type node struct {
+	id         NodeID
+	parent     NodeID // InvalidNode for the root
+	children   []NodeID
+	childIndex map[NodeID]int // position of each child in children
+	parentPort int
+	childPorts map[NodeID]int
+	depth      int // cached; maintained incrementally
+}
+
+// Tree is a dynamic rooted tree. The root is created by New and is never
+// deleted (the paper assumes the root survives the whole scenario).
+type Tree struct {
+	mu        sync.RWMutex
+	nodes     map[NodeID]*node
+	root      NodeID
+	nextID    NodeID
+	ports     PortAssigner
+	changeSeq uint64
+	// everExisted counts all nodes ever created, including deleted ones.
+	// This is the quantity the paper calls U (when bounded).
+	everExisted int
+	deleted     map[NodeID]struct{}
+	observers   []func(Change)
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithPortAssigner installs a custom port assigner. The default is an
+// AdversarialPorts assigner seeded with 1.
+func WithPortAssigner(p PortAssigner) Option {
+	return func(t *Tree) { t.ports = p }
+}
+
+// New creates a tree containing only a root node and returns the tree and
+// the root's id.
+func New(opts ...Option) (*Tree, NodeID) {
+	t := &Tree{
+		nodes:   make(map[NodeID]*node),
+		nextID:  1,
+		ports:   NewAdversarialPorts(1),
+		deleted: make(map[NodeID]struct{}),
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	root := t.allocNode(InvalidNode, 0)
+	t.root = root.id
+	return t, root.id
+}
+
+// Observe registers fn to be called, with the tree lock held, after every
+// applied topological change. Observers must not call back into the tree.
+func (t *Tree) Observe(fn func(Change)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, fn)
+}
+
+func (t *Tree) allocNode(parent NodeID, depth int) *node {
+	n := &node{
+		id:         t.nextID,
+		parent:     parent,
+		childIndex: make(map[NodeID]int),
+		childPorts: make(map[NodeID]int),
+		depth:      depth,
+	}
+	t.nextID++
+	t.everExisted++
+	t.nodes[n.id] = n
+	return n
+}
+
+func (t *Tree) notify(kind ChangeKind, id, parent NodeID) Change {
+	t.changeSeq++
+	ch := Change{Kind: kind, Node: id, Parent: parent, Seq: t.changeSeq}
+	for _, fn := range t.observers {
+		fn(ch)
+	}
+	return ch
+}
+
+// Root returns the root node id.
+func (t *Tree) Root() NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+// Size returns the current number of nodes.
+func (t *Tree) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// EverExisted returns the number of nodes ever created, including deleted
+// ones. This is the paper's quantity U for the scenario so far.
+func (t *Tree) EverExisted() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.everExisted
+}
+
+// Changes returns the number of topological changes applied so far.
+func (t *Tree) Changes() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.changeSeq
+}
+
+// Contains reports whether id names a live node.
+func (t *Tree) Contains(id NodeID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// WasDeleted reports whether id names a node that existed and was deleted.
+func (t *Tree) WasDeleted(id NodeID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.deleted[id]
+	return ok
+}
+
+// Parent returns the parent of id. The root's parent is InvalidNode.
+func (t *Tree) Parent(id NodeID) (NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return InvalidNode, fmt.Errorf("parent of %d: %w", id, ErrNoSuchNode)
+	}
+	return n.parent, nil
+}
+
+// Children returns a copy of id's children, in insertion order.
+func (t *Tree) Children(id NodeID) ([]NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("children of %d: %w", id, ErrNoSuchNode)
+	}
+	out := make([]NodeID, len(n.children))
+	copy(out, n.children)
+	return out, nil
+}
+
+// ChildCount returns the number of children of id (the child-degree deg(v)
+// used by the memory bound of Claim 4.8).
+func (t *Tree) ChildCount(id NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("child count of %d: %w", id, ErrNoSuchNode)
+	}
+	return len(n.children), nil
+}
+
+// Depth returns the hop distance from id to the root.
+func (t *Tree) Depth(id NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("depth of %d: %w", id, ErrNoSuchNode)
+	}
+	return n.depth, nil
+}
+
+// IsLeaf reports whether id is a live node with no children.
+func (t *Tree) IsLeaf(id NodeID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	return ok && len(n.children) == 0
+}
+
+// ParentPort returns the port number at id leading to its parent.
+func (t *Tree) ParentPort(id NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("parent port of %d: %w", id, ErrNoSuchNode)
+	}
+	if n.parent == InvalidNode {
+		return 0, fmt.Errorf("parent port of root %d: %w", id, ErrIsRoot)
+	}
+	return n.parentPort, nil
+}
+
+// ChildPort returns the port number at parent leading to child.
+func (t *Tree) ChildPort(parent, child NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.nodes[parent]
+	if !ok {
+		return 0, fmt.Errorf("child port at %d: %w", parent, ErrNoSuchNode)
+	}
+	port, ok := p.childPorts[child]
+	if !ok {
+		return 0, fmt.Errorf("child port %d->%d: %w", parent, child, ErrNotRelated)
+	}
+	return port, nil
+}
+
+// ApplyAddLeaf adds a new leaf as a child of parent and returns its id.
+func (t *Tree) ApplyAddLeaf(parent NodeID) (NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.nodes[parent]
+	if !ok {
+		return InvalidNode, fmt.Errorf("add leaf under %d: %w", parent, ErrNoSuchNode)
+	}
+	n := t.allocNode(parent, p.depth+1)
+	t.link(p, n)
+	t.notify(AddLeaf, n.id, parent)
+	return n.id, nil
+}
+
+// ApplyRemoveLeaf removes the non-root leaf id.
+func (t *Tree) ApplyRemoveLeaf(id NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("remove leaf %d: %w", id, ErrNoSuchNode)
+	}
+	if id == t.root {
+		return fmt.Errorf("remove leaf %d: %w", id, ErrIsRoot)
+	}
+	if len(n.children) != 0 {
+		return fmt.Errorf("remove leaf %d: %w", id, ErrNotLeaf)
+	}
+	parent := n.parent
+	t.unlink(t.nodes[parent], n)
+	delete(t.nodes, id)
+	t.deleted[id] = struct{}{}
+	t.notify(RemoveLeaf, id, parent)
+	return nil
+}
+
+// ApplyAddInternal splits the tree edge between child and its parent,
+// inserting a new node u so that parent(child) = u and parent(u) is child's
+// former parent. It returns the new node's id.
+func (t *Tree) ApplyAddInternal(child NodeID) (NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.nodes[child]
+	if !ok {
+		return InvalidNode, fmt.Errorf("add internal above %d: %w", child, ErrNoSuchNode)
+	}
+	if child == t.root {
+		return InvalidNode, fmt.Errorf("add internal above root %d: %w", child, ErrIsRoot)
+	}
+	p := t.nodes[c.parent]
+	u := t.allocNode(p.id, p.depth+1)
+	// Replace c with u in p's child list, then make c a child of u.
+	t.unlink(p, c)
+	t.link(p, u)
+	t.link(u, c)
+	t.recomputeDepths(c)
+	t.notify(AddInternal, u.id, p.id)
+	return u.id, nil
+}
+
+// ApplyRemoveInternal removes the non-root internal node id; its children
+// become children of id's parent.
+func (t *Tree) ApplyRemoveInternal(id NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("remove internal %d: %w", id, ErrNoSuchNode)
+	}
+	if id == t.root {
+		return fmt.Errorf("remove internal %d: %w", id, ErrIsRoot)
+	}
+	if len(n.children) == 0 {
+		return fmt.Errorf("remove internal %d: %w", id, ErrNotInternal)
+	}
+	p := t.nodes[n.parent]
+	children := make([]NodeID, len(n.children))
+	copy(children, n.children)
+	for _, cid := range children {
+		c := t.nodes[cid]
+		t.unlink(n, c)
+		t.link(p, c)
+		t.recomputeDepths(c)
+	}
+	t.unlink(p, n)
+	delete(t.nodes, id)
+	t.deleted[id] = struct{}{}
+	t.notify(RemoveInternal, id, p.id)
+	return nil
+}
+
+// link makes c a child of p and assigns fresh ports on both endpoints.
+func (t *Tree) link(p, c *node) {
+	c.parent = p.id
+	c.depth = p.depth + 1
+	c.parentPort = t.ports.Assign(c.id, usedPorts(c))
+	p.childIndex[c.id] = len(p.children)
+	p.children = append(p.children, c.id)
+	p.childPorts[c.id] = t.ports.Assign(p.id, usedPorts(p))
+}
+
+// unlink removes c from p's child list.
+func (t *Tree) unlink(p, c *node) {
+	idx := p.childIndex[c.id]
+	last := len(p.children) - 1
+	if idx != last {
+		moved := p.children[last]
+		p.children[idx] = moved
+		p.childIndex[moved] = idx
+	}
+	p.children = p.children[:last]
+	delete(p.childIndex, c.id)
+	delete(p.childPorts, c.id)
+	c.parent = InvalidNode
+}
+
+func usedPorts(n *node) map[int]struct{} {
+	used := make(map[int]struct{}, len(n.childPorts)+1)
+	if n.parent != InvalidNode {
+		used[n.parentPort] = struct{}{}
+	}
+	for _, p := range n.childPorts {
+		used[p] = struct{}{}
+	}
+	return used
+}
+
+// recomputeDepths refreshes cached depths in the subtree rooted at c.
+func (t *Tree) recomputeDepths(c *node) {
+	stack := []*node{c}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n.depth = t.nodes[n.parent].depth + 1
+		for _, cid := range n.children {
+			stack = append(stack, t.nodes[cid])
+		}
+	}
+}
+
+// Distance returns the hop distance between u and an ancestor w of u.
+// It returns an error if w is not an ancestor of u.
+func (t *Tree) Distance(u, w NodeID) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	un, ok := t.nodes[u]
+	if !ok {
+		return 0, fmt.Errorf("distance from %d: %w", u, ErrNoSuchNode)
+	}
+	wn, ok := t.nodes[w]
+	if !ok {
+		return 0, fmt.Errorf("distance to %d: %w", w, ErrNoSuchNode)
+	}
+	d := un.depth - wn.depth
+	if d < 0 {
+		return 0, fmt.Errorf("distance %d->%d: %w", u, w, ErrNotRelated)
+	}
+	cur := un
+	for i := 0; i < d; i++ {
+		cur = t.nodes[cur.parent]
+	}
+	if cur.id != w {
+		return 0, fmt.Errorf("distance %d->%d: %w", u, w, ErrNotRelated)
+	}
+	return d, nil
+}
+
+// IsAncestor reports whether a is an ancestor of d (every node is its own
+// ancestor, as in the paper).
+func (t *Tree) IsAncestor(a, d NodeID) (bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	an, ok := t.nodes[a]
+	if !ok {
+		return false, fmt.Errorf("ancestor test %d: %w", a, ErrNoSuchNode)
+	}
+	dn, ok := t.nodes[d]
+	if !ok {
+		return false, fmt.Errorf("ancestor test %d: %w", d, ErrNoSuchNode)
+	}
+	for dn.depth > an.depth {
+		dn = t.nodes[dn.parent]
+	}
+	return dn.id == an.id, nil
+}
+
+// Ancestor returns the ancestor of u at hop distance dist (Ancestor(u, 0)
+// is u itself). It returns an error if dist exceeds u's depth.
+func (t *Tree) Ancestor(u NodeID, dist int) (NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[u]
+	if !ok {
+		return InvalidNode, fmt.Errorf("ancestor of %d: %w", u, ErrNoSuchNode)
+	}
+	if dist < 0 || dist > n.depth {
+		return InvalidNode, fmt.Errorf("ancestor of %d at distance %d (depth %d): %w",
+			u, dist, n.depth, ErrNotRelated)
+	}
+	for i := 0; i < dist; i++ {
+		n = t.nodes[n.parent]
+	}
+	return n.id, nil
+}
+
+// PathToRoot returns the node ids from u (inclusive) up to the root
+// (inclusive).
+func (t *Tree) PathToRoot(u NodeID) ([]NodeID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[u]
+	if !ok {
+		return nil, fmt.Errorf("path to root from %d: %w", u, ErrNoSuchNode)
+	}
+	path := make([]NodeID, 0, n.depth+1)
+	for {
+		path = append(path, n.id)
+		if n.parent == InvalidNode {
+			return path, nil
+		}
+		n = t.nodes[n.parent]
+	}
+}
+
+// PathBetween returns the node ids from u (inclusive) up to its ancestor w
+// (inclusive).
+func (t *Tree) PathBetween(u, w NodeID) ([]NodeID, error) {
+	d, err := t.Distance(u, w)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	path := make([]NodeID, 0, d+1)
+	n := t.nodes[u]
+	for i := 0; i <= d; i++ {
+		path = append(path, n.id)
+		if n.parent == InvalidNode {
+			break
+		}
+		n = t.nodes[n.parent]
+	}
+	return path, nil
+}
+
+// Nodes returns the ids of all live nodes in unspecified order.
+func (t *Tree) Nodes() []NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]NodeID, 0, len(t.nodes))
+	for id := range t.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Leaves returns the ids of all current leaves.
+func (t *Tree) Leaves() []NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []NodeID
+	for id, n := range t.nodes {
+		if len(n.children) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Validate checks structural consistency of the tree: parent/child symmetry,
+// depth caching, port uniqueness, acyclicity and full reachability from the
+// root. It is intended for tests and returns the first inconsistency found.
+func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[NodeID]struct{}, len(t.nodes))
+	type frame struct {
+		id    NodeID
+		depth int
+	}
+	stack := []frame{{t.root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, dup := seen[f.id]; dup {
+			return fmt.Errorf("validate: node %d reachable twice", f.id)
+		}
+		seen[f.id] = struct{}{}
+		n, ok := t.nodes[f.id]
+		if !ok {
+			return fmt.Errorf("validate: reachable node %d missing: %w", f.id, ErrNoSuchNode)
+		}
+		if n.depth != f.depth {
+			return fmt.Errorf("validate: node %d cached depth %d, actual %d", f.id, n.depth, f.depth)
+		}
+		ports := make(map[int]struct{}, len(n.children)+1)
+		if n.parent != InvalidNode {
+			ports[n.parentPort] = struct{}{}
+		}
+		for i, cid := range n.children {
+			c, ok := t.nodes[cid]
+			if !ok {
+				return fmt.Errorf("validate: child %d of %d missing: %w", cid, f.id, ErrNoSuchNode)
+			}
+			if c.parent != f.id {
+				return fmt.Errorf("validate: child %d of %d has parent %d", cid, f.id, c.parent)
+			}
+			if n.childIndex[cid] != i {
+				return fmt.Errorf("validate: child index of %d under %d is stale", cid, f.id)
+			}
+			port, ok := n.childPorts[cid]
+			if !ok {
+				return fmt.Errorf("validate: no port for child %d of %d", cid, f.id)
+			}
+			if _, dup := ports[port]; dup {
+				return fmt.Errorf("validate: duplicate port %d at node %d", port, f.id)
+			}
+			ports[port] = struct{}{}
+			stack = append(stack, frame{cid, f.depth + 1})
+		}
+	}
+	if len(seen) != len(t.nodes) {
+		return fmt.Errorf("validate: %d nodes reachable, %d stored", len(seen), len(t.nodes))
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddLeaf(t *testing.T, tr *Tree, parent NodeID) NodeID {
+	t.Helper()
+	id, err := tr.ApplyAddLeaf(parent)
+	if err != nil {
+		t.Fatalf("ApplyAddLeaf(%d): %v", parent, err)
+	}
+	return id
+}
+
+func TestNewTree(t *testing.T) {
+	tr, root := New()
+	if got := tr.Size(); got != 1 {
+		t.Fatalf("Size() = %d, want 1", got)
+	}
+	if got := tr.Root(); got != root {
+		t.Fatalf("Root() = %d, want %d", got, root)
+	}
+	if !tr.IsLeaf(root) {
+		t.Fatal("fresh root should be a leaf")
+	}
+	d, err := tr.Depth(root)
+	if err != nil || d != 0 {
+		t.Fatalf("Depth(root) = %d, %v; want 0, nil", d, err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddLeaf(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+
+	if got := tr.Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+	p, err := tr.Parent(b)
+	if err != nil || p != a {
+		t.Fatalf("Parent(b) = %d, %v; want %d", p, err, a)
+	}
+	d, err := tr.Depth(b)
+	if err != nil || d != 2 {
+		t.Fatalf("Depth(b) = %d, %v; want 2", d, err)
+	}
+	if _, err := tr.ApplyAddLeaf(NodeID(999)); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("AddLeaf under missing node: err = %v, want ErrNoSuchNode", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRemoveLeaf(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+
+	if err := tr.ApplyRemoveLeaf(a); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("removing internal node as leaf: err = %v, want ErrNotLeaf", err)
+	}
+	if err := tr.ApplyRemoveLeaf(root); err == nil {
+		t.Fatal("removing root should fail")
+	}
+	if err := tr.ApplyRemoveLeaf(b); err != nil {
+		t.Fatalf("ApplyRemoveLeaf(b): %v", err)
+	}
+	if tr.Contains(b) {
+		t.Fatal("b should be gone")
+	}
+	if !tr.WasDeleted(b) {
+		t.Fatal("b should be recorded as deleted")
+	}
+	if !tr.IsLeaf(a) {
+		t.Fatal("a should be a leaf again")
+	}
+	if err := tr.ApplyRemoveLeaf(b); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("double remove: err = %v, want ErrNoSuchNode", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddInternal(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+
+	u, err := tr.ApplyAddInternal(b)
+	if err != nil {
+		t.Fatalf("ApplyAddInternal(b): %v", err)
+	}
+	// Now root -> a -> u -> b.
+	p, _ := tr.Parent(b)
+	if p != u {
+		t.Fatalf("Parent(b) = %d, want %d", p, u)
+	}
+	p, _ = tr.Parent(u)
+	if p != a {
+		t.Fatalf("Parent(u) = %d, want %d", p, a)
+	}
+	d, _ := tr.Depth(b)
+	if d != 3 {
+		t.Fatalf("Depth(b) = %d, want 3", d)
+	}
+	if _, err := tr.ApplyAddInternal(root); err == nil {
+		t.Fatal("splitting above root should fail")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRemoveInternal(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+	c := mustAddLeaf(t, tr, a)
+
+	if err := tr.ApplyRemoveInternal(b); !errors.Is(err, ErrNotInternal) {
+		t.Fatalf("removing leaf as internal: err = %v, want ErrNotInternal", err)
+	}
+	if err := tr.ApplyRemoveInternal(a); err != nil {
+		t.Fatalf("ApplyRemoveInternal(a): %v", err)
+	}
+	// b and c become children of root.
+	for _, id := range []NodeID{b, c} {
+		p, err := tr.Parent(id)
+		if err != nil || p != root {
+			t.Fatalf("Parent(%d) = %d, %v; want root %d", id, p, err, root)
+		}
+		d, _ := tr.Depth(id)
+		if d != 1 {
+			t.Fatalf("Depth(%d) = %d, want 1", id, d)
+		}
+	}
+	if err := tr.ApplyRemoveInternal(root); err == nil {
+		t.Fatal("removing root should fail")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRemoveInternalDeepSubtreeDepths(t *testing.T) {
+	// root -> a -> b -> c -> d; removing a must shift b, c, d up by one.
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+	c := mustAddLeaf(t, tr, b)
+	d := mustAddLeaf(t, tr, c)
+
+	if err := tr.ApplyRemoveInternal(a); err != nil {
+		t.Fatalf("ApplyRemoveInternal: %v", err)
+	}
+	wants := map[NodeID]int{b: 1, c: 2, d: 3}
+	for id, want := range wants {
+		got, err := tr.Depth(id)
+		if err != nil || got != want {
+			t.Fatalf("Depth(%d) = %d, %v; want %d", id, got, err, want)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDistanceAndAncestor(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+	c := mustAddLeaf(t, tr, b)
+	sib := mustAddLeaf(t, tr, a)
+
+	tests := []struct {
+		name    string
+		u, w    NodeID
+		want    int
+		wantErr bool
+	}{
+		{"self", c, c, 0, false},
+		{"one hop", c, b, 1, false},
+		{"to root", c, root, 3, false},
+		{"not ancestor", c, sib, 0, true},
+		{"inverted", root, c, 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tr.Distance(tc.u, tc.w)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Distance(%d,%d) = %d, want error", tc.u, tc.w, got)
+				}
+				return
+			}
+			if err != nil || got != tc.want {
+				t.Fatalf("Distance(%d,%d) = %d, %v; want %d", tc.u, tc.w, got, err, tc.want)
+			}
+		})
+	}
+
+	anc, err := tr.Ancestor(c, 2)
+	if err != nil || anc != a {
+		t.Fatalf("Ancestor(c,2) = %d, %v; want %d", anc, err, a)
+	}
+	if _, err := tr.Ancestor(c, 99); err == nil {
+		t.Fatal("Ancestor beyond root should fail")
+	}
+	ok, err := tr.IsAncestor(a, c)
+	if err != nil || !ok {
+		t.Fatalf("IsAncestor(a,c) = %v, %v; want true", ok, err)
+	}
+	ok, _ = tr.IsAncestor(sib, c)
+	if ok {
+		t.Fatal("IsAncestor(sib,c) should be false")
+	}
+	ok, _ = tr.IsAncestor(c, c)
+	if !ok {
+		t.Fatal("a node is its own ancestor")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+
+	path, err := tr.PathToRoot(b)
+	if err != nil {
+		t.Fatalf("PathToRoot: %v", err)
+	}
+	want := []NodeID{b, a, root}
+	if len(path) != len(want) {
+		t.Fatalf("PathToRoot = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathToRoot[%d] = %d, want %d", i, path[i], want[i])
+		}
+	}
+	seg, err := tr.PathBetween(b, a)
+	if err != nil || len(seg) != 2 || seg[0] != b || seg[1] != a {
+		t.Fatalf("PathBetween(b,a) = %v, %v; want [b a]", seg, err)
+	}
+}
+
+func TestNCAAndTreeDistance(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, a)
+	c := mustAddLeaf(t, tr, a)
+	d := mustAddLeaf(t, tr, c)
+
+	nca, err := tr.NCA(b, d)
+	if err != nil || nca != a {
+		t.Fatalf("NCA(b,d) = %d, %v; want %d", nca, err, a)
+	}
+	dist, err := tr.TreeDistance(b, d)
+	if err != nil || dist != 3 {
+		t.Fatalf("TreeDistance(b,d) = %d, %v; want 3", dist, err)
+	}
+	nca, _ = tr.NCA(b, b)
+	if nca != b {
+		t.Fatalf("NCA(b,b) = %d, want %d", nca, b)
+	}
+}
+
+func TestDFSNumbersAndIntervals(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	b := mustAddLeaf(t, tr, root)
+	c := mustAddLeaf(t, tr, a)
+
+	nums := tr.DFSNumbers()
+	if len(nums) != 4 {
+		t.Fatalf("DFSNumbers has %d entries, want 4", len(nums))
+	}
+	if nums[root] != 1 {
+		t.Fatalf("root DFS number = %d, want 1", nums[root])
+	}
+	// a inserted before b, so a's subtree is visited first.
+	if nums[a] != 2 || nums[c] != 3 || nums[b] != 4 {
+		t.Fatalf("DFS numbers = a:%d c:%d b:%d, want 2,3,4", nums[a], nums[c], nums[b])
+	}
+
+	iv := tr.Intervals()
+	contains := func(outer, inner [2]int) bool {
+		return outer[0] <= inner[0] && inner[1] <= outer[1]
+	}
+	if !contains(iv[root], iv[b]) || !contains(iv[a], iv[c]) {
+		t.Fatalf("intervals do not nest: %v", iv)
+	}
+	if contains(iv[a], iv[b]) || contains(iv[b], iv[a]) {
+		t.Fatal("sibling intervals must be disjoint")
+	}
+}
+
+func TestSubtreeSizeAndHeight(t *testing.T) {
+	tr, root := New()
+	a := mustAddLeaf(t, tr, root)
+	mustAddLeaf(t, tr, a)
+	mustAddLeaf(t, tr, a)
+
+	n, err := tr.SubtreeSize(a)
+	if err != nil || n != 3 {
+		t.Fatalf("SubtreeSize(a) = %d, %v; want 3", n, err)
+	}
+	n, _ = tr.SubtreeSize(root)
+	if n != 4 {
+		t.Fatalf("SubtreeSize(root) = %d, want 4", n)
+	}
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("Height() = %d, want 2", h)
+	}
+}
+
+func TestObservers(t *testing.T) {
+	tr, root := New()
+	var events []Change
+	tr.Observe(func(ch Change) { events = append(events, ch) })
+
+	a := mustAddLeaf(t, tr, root)
+	u, err := tr.ApplyAddInternal(a)
+	if err != nil {
+		t.Fatalf("ApplyAddInternal: %v", err)
+	}
+	if err := tr.ApplyRemoveInternal(u); err != nil {
+		t.Fatalf("ApplyRemoveInternal: %v", err)
+	}
+	if err := tr.ApplyRemoveLeaf(a); err != nil {
+		t.Fatalf("ApplyRemoveLeaf: %v", err)
+	}
+
+	wantKinds := []ChangeKind{AddLeaf, AddInternal, RemoveInternal, RemoveLeaf}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("observed %d events, want %d", len(events), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, events[i].Kind, k)
+		}
+		if events[i].Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d", i, events[i].Seq, i+1)
+		}
+	}
+	if got := tr.Changes(); got != 4 {
+		t.Fatalf("Changes() = %d, want 4", got)
+	}
+}
+
+func TestPortsDistinct(t *testing.T) {
+	for _, assigner := range []PortAssigner{NewSequentialPorts(), NewAdversarialPorts(7)} {
+		tr, root := New(WithPortAssigner(assigner))
+		for i := 0; i < 50; i++ {
+			mustAddLeaf(t, tr, root)
+		}
+		kids, err := tr.Children(root)
+		if err != nil {
+			t.Fatalf("Children: %v", err)
+		}
+		seen := make(map[int]struct{})
+		for _, c := range kids {
+			p, err := tr.ChildPort(root, c)
+			if err != nil {
+				t.Fatalf("ChildPort: %v", err)
+			}
+			if _, dup := seen[p]; dup {
+				t.Fatalf("duplicate port %d at root", p)
+			}
+			seen[p] = struct{}{}
+			if _, err := tr.ParentPort(c); err != nil {
+				t.Fatalf("ParentPort(%d): %v", c, err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+}
+
+func TestEverExistedCountsDeleted(t *testing.T) {
+	tr, root := New()
+	ids := make([]NodeID, 0, 10)
+	for i := 0; i < 10; i++ {
+		ids = append(ids, mustAddLeaf(t, tr, root))
+	}
+	for _, id := range ids[:5] {
+		if err := tr.ApplyRemoveLeaf(id); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+	}
+	if got := tr.EverExisted(); got != 11 {
+		t.Fatalf("EverExisted() = %d, want 11", got)
+	}
+	if got := tr.Size(); got != 6 {
+		t.Fatalf("Size() = %d, want 6", got)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := map[ChangeKind]string{
+		None: "none", AddLeaf: "add-leaf", RemoveLeaf: "remove-leaf",
+		AddInternal: "add-internal", RemoveInternal: "remove-internal",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if !AddLeaf.IsAddition() || !RemoveInternal.IsRemoval() || None.IsAddition() || AddLeaf.IsRemoval() {
+		t.Fatal("kind predicates inconsistent")
+	}
+}
+
+// randomScenario applies n random topological changes to a fresh tree and
+// returns the tree.
+func randomScenario(seed int64, n int) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	tr, root := New(WithPortAssigner(NewAdversarialPorts(seed)))
+	live := []NodeID{root}
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(4); op {
+		case 0: // add leaf
+			parent := live[rng.Intn(len(live))]
+			id, err := tr.ApplyAddLeaf(parent)
+			if err == nil {
+				live = append(live, id)
+			}
+		case 1: // remove leaf
+			id := live[rng.Intn(len(live))]
+			if id != root && tr.IsLeaf(id) {
+				if err := tr.ApplyRemoveLeaf(id); err == nil {
+					live = removeID(live, id)
+				}
+			}
+		case 2: // add internal
+			id := live[rng.Intn(len(live))]
+			if id != root {
+				nid, err := tr.ApplyAddInternal(id)
+				if err == nil {
+					live = append(live, nid)
+				}
+			}
+		case 3: // remove internal
+			id := live[rng.Intn(len(live))]
+			if id != root && !tr.IsLeaf(id) {
+				if err := tr.ApplyRemoveInternal(id); err == nil {
+					live = removeID(live, id)
+				}
+			}
+		}
+	}
+	return tr
+}
+
+func removeID(s []NodeID, id NodeID) []NodeID {
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func TestRandomScenarioInvariants(t *testing.T) {
+	// Property: any sequence of legal topological changes preserves
+	// structural validity, and depth equals recomputed distance-to-root.
+	prop := func(seed int64) bool {
+		tr := randomScenario(seed, 300)
+		if err := tr.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		root := tr.Root()
+		for _, id := range tr.Nodes() {
+			d, err := tr.Depth(id)
+			if err != nil {
+				return false
+			}
+			d2, err := tr.Distance(id, root)
+			if err != nil || d != d2 {
+				t.Logf("seed %d: depth mismatch at %d: %d vs %d", seed, id, d, d2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScenarioIntervalAncestry(t *testing.T) {
+	// Property: DFS intervals characterize ancestry exactly.
+	prop := func(seed int64) bool {
+		tr := randomScenario(seed, 120)
+		iv := tr.Intervals()
+		nodes := tr.Nodes()
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for i := 0; i < 50; i++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			anc, err := tr.IsAncestor(u, v)
+			if err != nil {
+				return false
+			}
+			byInterval := iv[u][0] <= iv[v][0] && iv[v][1] <= iv[u][1]
+			if anc != byInterval {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeavesConsistent(t *testing.T) {
+	tr := randomScenario(42, 200)
+	leafSet := make(map[NodeID]struct{})
+	for _, id := range tr.Leaves() {
+		leafSet[id] = struct{}{}
+	}
+	for _, id := range tr.Nodes() {
+		kids, err := tr.Children(id)
+		if err != nil {
+			t.Fatalf("Children: %v", err)
+		}
+		_, isLeaf := leafSet[id]
+		if (len(kids) == 0) != isLeaf {
+			t.Fatalf("node %d leaf status inconsistent", id)
+		}
+	}
+}

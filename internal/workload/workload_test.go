@@ -1,0 +1,193 @@
+package workload_test
+
+import (
+	"testing"
+
+	ctl "dynctrl/internal/controller"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/workload"
+)
+
+func TestBuilders(t *testing.T) {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 64 {
+		t.Fatalf("balanced size = %d, want 64", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	trP, _ := tree.New()
+	if err := workload.BuildPath(trP, 40); err != nil {
+		t.Fatal(err)
+	}
+	if trP.Height() != 39 {
+		t.Fatalf("path height = %d, want 39", trP.Height())
+	}
+
+	trS, _ := tree.New()
+	if err := workload.BuildStar(trS, 40); err != nil {
+		t.Fatal(err)
+	}
+	if trS.Height() != 1 {
+		t.Fatalf("star height = %d, want 1", trS.Height())
+	}
+	if n, _ := trS.ChildCount(trS.Root()); n != 39 {
+		t.Fatalf("star root degree = %d, want 39", n)
+	}
+}
+
+func TestChurnProducesValidRequests(t *testing.T) {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewChurn(tr, workload.DefaultMix(), 3)
+	for i := 0; i < 300; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			t.Fatalf("generator dried up at %d", i)
+		}
+		if !tr.Contains(req.Node) {
+			t.Fatalf("request at missing node %d", req.Node)
+		}
+		switch req.Kind {
+		case tree.RemoveLeaf:
+			if !tr.IsLeaf(req.Node) || req.Node == tr.Root() {
+				t.Fatal("invalid remove-leaf request")
+			}
+		case tree.RemoveInternal:
+			if tr.IsLeaf(req.Node) || req.Node == tr.Root() {
+				t.Fatal("invalid remove-internal request")
+			}
+		case tree.AddInternal:
+			p, err := tr.Parent(req.Child)
+			if err != nil || p != req.Node {
+				t.Fatal("invalid add-internal request")
+			}
+		}
+		// Apply additions/removals directly to keep the tree moving.
+		switch req.Kind {
+		case tree.AddLeaf:
+			if _, err := tr.ApplyAddLeaf(req.Node); err != nil {
+				t.Fatal(err)
+			}
+		case tree.RemoveLeaf:
+			if err := tr.ApplyRemoveLeaf(req.Node); err != nil {
+				t.Fatal(err)
+			}
+		case tree.AddInternal:
+			if _, err := tr.ApplyAddInternal(req.Child); err != nil {
+				t.Fatal(err)
+			}
+		case tree.RemoveInternal:
+			if err := tr.ApplyRemoveInternal(req.Node); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnDeterministicForSeed(t *testing.T) {
+	run := func() []ctl.Request {
+		tr, _ := tree.New()
+		if err := workload.BuildBalanced(tr, 20, 5); err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewChurn(tr, workload.EventOnlyMix(), 9)
+		var out []ctl.Request
+		for i := 0; i < 50; i++ {
+			req, _ := gen.Next()
+			out = append(out, req)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMinSizeFloor(t *testing.T) {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, 10, 6); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewChurn(tr, workload.ShrinkHeavyMix(), 7)
+	gen.SetMinSize(10)
+	// At the floor, the generator must never emit removals.
+	for i := 0; i < 100; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if req.Kind.IsRemoval() && tr.Size() <= 10 {
+			t.Fatal("removal emitted at the size floor")
+		}
+	}
+}
+
+func TestRunDrivesSubmitter(t *testing.T) {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	c := ctl.NewCore(tr, 64, 10, 2)
+	gen := workload.NewChurn(tr, workload.EventOnlyMix(), 11)
+	res, err := workload.Run(c, gen, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted > 10 {
+		t.Fatalf("granted %d > M", res.Granted)
+	}
+	if res.Submitted == 0 {
+		t.Fatal("nothing submitted")
+	}
+}
+
+func TestDeepPathGenerator(t *testing.T) {
+	tr, _ := tree.New()
+	dp := workload.NewDeepPath(tr)
+	c := ctl.NewCore(tr, 128, 64, 16)
+	res, err := workload.Run(c, dp, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted != 50 {
+		t.Fatalf("granted %d, want 50", res.Granted)
+	}
+	if tr.Height() != 50 {
+		t.Fatalf("height = %d, want 50 (a path)", tr.Height())
+	}
+}
+
+func TestHotspotGenerator(t *testing.T) {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, 20, 9); err != nil {
+		t.Fatal(err)
+	}
+	pivot := tr.Root()
+	h := workload.NewHotspot(tr, pivot, 90, 13)
+	atPivot := 0
+	for i := 0; i < 200; i++ {
+		req, ok := h.Next()
+		if !ok {
+			t.Fatal("hotspot dried up")
+		}
+		if req.Node == pivot && req.Kind == tree.AddLeaf {
+			atPivot++
+		}
+	}
+	if atPivot < 100 {
+		t.Fatalf("only %d/200 requests hit the hotspot; want most", atPivot)
+	}
+}
