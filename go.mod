@@ -1,0 +1,3 @@
+module dynctrl
+
+go 1.24

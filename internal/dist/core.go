@@ -1,0 +1,544 @@
+package dist
+
+import (
+	"fmt"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/pkgstore"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// DescentObserver is notified for every node a permit package of the given
+// size enters while descending the tree. The subtree estimator of Section
+// 5.3 uses this hook; it is the distributed counterpart of the centralized
+// observer, which reports the whole entered path at once.
+type DescentObserver func(size int64, enters tree.NodeID)
+
+// Core is the fixed-U distributed (M,W)-Controller of Section 4: the
+// waste-halving core of Section 3.1 executed by message passing. One request
+// is processed at a time (Submit drains the runtime before returning), which
+// models the paper's assumption that a single agent is active per request.
+type Core struct {
+	tr       *tree.Tree
+	rt       sim.Runtime
+	params   pkgstore.Params
+	stores   map[tree.NodeID]*pkgstore.Store
+	storage  int64             // permits remaining in the root's storage
+	serials  pkgstore.Interval // serial numbers backing the storage, if any
+	counters *stats.Counters
+	descent  DescentObserver
+
+	noRejects  bool
+	rejectWave bool
+	granted    int64
+	rejected   int64
+
+	// cur holds the in-flight request; it is only non-nil between the
+	// start of submit and the completion of the matching Drain.
+	cur *pending
+}
+
+// pending is the per-request result slot the message handlers write into.
+type pending struct {
+	req   controller.Request
+	done  bool
+	grant controller.Grant
+	err   error
+}
+
+// CoreOption configures a Core.
+type CoreOption func(*Core)
+
+// WithCounters directs cost accounting into c (shared counters let drivers
+// aggregate across iterations).
+func WithCounters(c *stats.Counters) CoreOption {
+	return func(co *Core) { co.counters = c }
+}
+
+// WithSerials attaches explicit permit serial numbers to the root storage;
+// the interval length must be at least M.
+func WithSerials(iv pkgstore.Interval) CoreOption {
+	return func(co *Core) { co.serials = iv }
+}
+
+// WithNoRejects makes the core answer WouldReject instead of flooding the
+// reject wave (the terminating transformation of Observation 2.1).
+func WithNoRejects() CoreOption {
+	return func(co *Core) { co.noRejects = true }
+}
+
+// WithDescentObserver registers fn to observe downward package moves.
+func WithDescentObserver(fn DescentObserver) CoreOption {
+	return func(co *Core) { co.descent = fn }
+}
+
+// NewCore creates a fixed-U distributed (m, w)-Controller over tr, moving
+// messages through rt. The root's storage initially holds the m permits.
+func NewCore(tr *tree.Tree, rt sim.Runtime, u, m, w int64, opts ...CoreOption) *Core {
+	c := &Core{
+		tr:      tr,
+		rt:      rt,
+		params:  pkgstore.NewParams(u, m, w),
+		stores:  make(map[tree.NodeID]*pkgstore.Store),
+		storage: m,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.counters == nil {
+		c.counters = stats.NewCounters()
+	}
+	for _, id := range tr.Nodes() {
+		c.stores[id] = pkgstore.NewStore()
+	}
+	return c
+}
+
+// Params exposes the derived φ/ψ parameters.
+func (c *Core) Params() pkgstore.Params { return c.params }
+
+// Granted returns the number of permits granted so far.
+func (c *Core) Granted() int64 { return c.granted }
+
+// Rejected returns the number of rejects delivered so far.
+func (c *Core) Rejected() int64 { return c.rejected }
+
+// Storage returns the permits remaining in the root's storage.
+func (c *Core) Storage() int64 { return c.storage }
+
+// Counters returns the cost counters.
+func (c *Core) Counters() *stats.Counters { return c.counters }
+
+// UnusedPermits returns the permits not yet granted: root storage plus all
+// permits sitting in packages. The iteration drivers use this as L.
+func (c *Core) UnusedPermits() int64 {
+	n := c.storage
+	for _, s := range c.stores {
+		n += s.PermitCount()
+	}
+	return n
+}
+
+// MemoryBitsAt estimates the whiteboard size of the given node in bits
+// (Claim 4.8).
+func (c *Core) MemoryBitsAt(id tree.NodeID) int {
+	s, ok := c.stores[id]
+	if !ok {
+		return 0
+	}
+	return s.MemoryBits(c.params)
+}
+
+// ClearPackages removes every package from the tree and returns all unused
+// permits to the root storage (iteration resets, Section 3.3). The drivers
+// account the corresponding broadcast/upcast in CounterControl.
+func (c *Core) ClearPackages() {
+	total := c.storage
+	for _, s := range c.stores {
+		total += s.PermitCount()
+		s.Clear()
+	}
+	c.storage = total
+	c.rejectWave = false
+}
+
+// store returns the package store of a node, creating it lazily (new nodes
+// join with empty whiteboards).
+func (c *Core) store(id tree.NodeID) *pkgstore.Store {
+	s, ok := c.stores[id]
+	if !ok {
+		s = pkgstore.NewStore()
+		c.stores[id] = s
+	}
+	return s
+}
+
+// submit runs one request through the message-passing protocol and blocks
+// (draining the runtime) until the verdict is in. Drivers and the public
+// Submitter front-end call it; the decision sequence matches the
+// centralized Core.Submit on identical traces.
+func (c *Core) submit(req controller.Request) (controller.Grant, error) {
+	if !c.tr.Contains(req.Node) {
+		return controller.Grant{}, fmt.Errorf("submit at %d: %w", req.Node, tree.ErrNoSuchNode)
+	}
+	if err := c.validate(req); err != nil {
+		return controller.Grant{}, err
+	}
+	c.rt.SetHandler(c.handle)
+	c.cur = &pending{req: req}
+	c.localStep(req.Node)
+	c.rt.Drain()
+	p := c.cur
+	c.cur = nil
+	if !p.done && p.err == nil {
+		p.err = fmt.Errorf("dist: request at %d lost in flight", req.Node)
+	}
+	return p.grant, p.err
+}
+
+// validate mirrors the centralized request preconditions (Section 2.1).
+func (c *Core) validate(req controller.Request) error {
+	switch req.Kind {
+	case tree.RemoveLeaf:
+		if req.Node == c.tr.Root() {
+			return fmt.Errorf("remove root: %w", tree.ErrIsRoot)
+		}
+		if !c.tr.IsLeaf(req.Node) {
+			return fmt.Errorf("remove-leaf at %d: %w", req.Node, tree.ErrNotLeaf)
+		}
+	case tree.RemoveInternal:
+		if req.Node == c.tr.Root() {
+			return fmt.Errorf("remove root: %w", tree.ErrIsRoot)
+		}
+		if c.tr.IsLeaf(req.Node) {
+			return fmt.Errorf("remove-internal at %d: %w", req.Node, tree.ErrNotInternal)
+		}
+	case tree.AddInternal:
+		p, err := c.tr.Parent(req.Child)
+		if err != nil {
+			return fmt.Errorf("add-internal: %w", err)
+		}
+		if p != req.Node {
+			return fmt.Errorf("add-internal: request must arrive at the parent-to-be: %w",
+				tree.ErrNotRelated)
+		}
+	case tree.None, tree.AddLeaf:
+		// No preconditions beyond the node existing.
+	default:
+		return fmt.Errorf("unknown request kind %v", req.Kind)
+	}
+	return nil
+}
+
+// localStep runs the request's first protocol step at the requesting node u
+// itself: items 1 and 2 of Protocol GrantOrReject, the d = 0 case of the
+// filler search, and the degenerate u = root case. No message is spent on
+// the request's arrival (requests originate at their node).
+func (c *Core) localStep(u tree.NodeID) {
+	if c.store(u).HasReject() {
+		c.finishReject()
+		return
+	}
+	if static := c.store(u).Static(); static != nil {
+		c.finishGrant(static)
+		return
+	}
+	if pk := c.store(u).MobileAtFillerDistance(c.params, 0); pk != nil {
+		c.startDescent(u, pk, u)
+		return
+	}
+	if u == c.tr.Root() {
+		c.rootStep(u, 0)
+		return
+	}
+	parent, err := c.tr.Parent(u)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.rt.Send(u, parent, searchUp{origin: u, dist: 1})
+}
+
+// handle dispatches one delivered message. It is installed on the runtime
+// at the start of every submit, so several controllers can share one
+// transport (the majority protocol runs two drivers on one runtime).
+func (c *Core) handle(m sim.Message) {
+	if c.cur == nil || c.cur.err != nil {
+		return // request already failed; drop the rest of the flight
+	}
+	switch pl := m.Payload.(type) {
+	case searchUp:
+		c.handleSearch(m.To, pl)
+	case descend:
+		c.handleDescend(pl)
+	case rejectFlood:
+		c.handleRejectFlood(m.To)
+	case transfer:
+		c.store(m.To).Absorb(pl.packages, pl.hadReject)
+	default:
+		c.fail(fmt.Errorf("dist: unknown payload %T", m.Payload))
+	}
+}
+
+// handleSearch continues the filler search at node w, which is pl.dist hops
+// above the requesting node (item 3 of Protocol GrantOrReject).
+func (c *Core) handleSearch(w tree.NodeID, pl searchUp) {
+	if pk := c.store(w).MobileAtFillerDistance(c.params, pl.dist); pk != nil {
+		c.startDescent(w, pk, pl.origin)
+		return
+	}
+	if w == c.tr.Root() {
+		c.rootStep(pl.origin, pl.dist)
+		return
+	}
+	parent, err := c.tr.Parent(w)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.rt.Send(w, parent, searchUp{origin: pl.origin, dist: pl.dist + 1})
+}
+
+// rootStep handles a search that reached the root without finding a filler
+// (item 3b): fund a fresh package of level j(u) from the storage, or reject.
+func (c *Core) rootStep(origin tree.NodeID, dRoot int64) {
+	level := c.params.RootLevel(dRoot)
+	need := c.params.MobileSize(level)
+	if c.storage < need {
+		if c.noRejects {
+			c.finish(controller.Grant{Outcome: controller.WouldReject})
+			return
+		}
+		c.broadcastRejectWave()
+		c.finishReject()
+		return
+	}
+	pk, err := c.createAtRoot(level)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.startDescent(c.tr.Root(), pk, origin)
+}
+
+// createAtRoot creates a mobile package of the given level at the root,
+// funding it from the root storage (which the caller has checked).
+func (c *Core) createAtRoot(level int) (*pkgstore.Package, error) {
+	size := c.params.MobileSize(level)
+	var pk *pkgstore.Package
+	if c.serials.Valid() {
+		iv := pkgstore.Interval{Lo: c.serials.Lo, Hi: c.serials.Lo + size - 1}
+		if iv.Hi > c.serials.Hi {
+			return nil, fmt.Errorf("root serials exhausted: need %d, have %d", size, c.serials.Len())
+		}
+		var err error
+		pk, err = pkgstore.NewMobileWithSerials(c.params, level, iv)
+		if err != nil {
+			return nil, err
+		}
+		c.serials.Lo = iv.Hi + 1
+	} else {
+		pk = pkgstore.NewMobile(c.params, level)
+	}
+	c.storage -= size
+	c.store(c.tr.Root()).AddMobile(pk)
+	// Permits leaving the storage enter the root's whiteboard: the subtree
+	// estimator needs them counted as passing through the root so that
+	// ω̃(root) dominates the root's true super-weight.
+	if c.descent != nil {
+		c.descent(size, c.tr.Root())
+	}
+	return pk, nil
+}
+
+// startDescent removes pkg from host's store and sends it down the tree
+// toward origin, one message per edge (procedure Proc, item 4). The path is
+// the breadcrumb trail the upward search established.
+func (c *Core) startDescent(host tree.NodeID, pkg *pkgstore.Package, origin tree.NodeID) {
+	if err := c.store(host).RemoveMobile(pkg); err != nil {
+		c.fail(fmt.Errorf("distribute: %w", err))
+		return
+	}
+	up, err := c.tr.PathBetween(origin, host)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	// Reverse to host-first order so path[i] is len(path)-1-i hops above
+	// origin.
+	path := make([]tree.NodeID, len(up))
+	for i, id := range up {
+		path[len(up)-1-i] = id
+	}
+	if len(path) == 1 {
+		// The package was found at origin itself (a level-0 filler at
+		// d = 0): no transport needed.
+		c.arrive(pkg, origin)
+		return
+	}
+	c.rt.Send(host, path[1], descend{pkg: pkg, path: path, idx: 1})
+}
+
+// handleDescend advances the package one hop: the receiving node path[idx]
+// is dist hops above origin; packages split when they enter a drop point
+// u_{k-1} and convert to static on arrival.
+func (c *Core) handleDescend(pl descend) {
+	node := pl.path[pl.idx]
+	dist := int64(len(pl.path) - 1 - pl.idx)
+	pkg := pl.pkg
+	if c.descent != nil {
+		c.descent(pkg.Size, node)
+	}
+	// Split at drop points: for every level k > 0 whose drop distance
+	// matches, one half stays here and the other half continues (the drop
+	// distances are strictly decreasing in k, so at most one level fires).
+	for pkg.Level > 0 && dist == c.params.UKDistance(pkg.Level-1) {
+		p1, p2, err := pkg.Split()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.store(node).AddMobile(p1)
+		pkg = p2
+	}
+	if dist == 0 {
+		c.arrive(pkg, node)
+		return
+	}
+	c.rt.Send(node, pl.path[pl.idx+1], descend{pkg: pkg, path: pl.path, idx: pl.idx + 1})
+}
+
+// arrive converts the level-0 package to static at the requesting node and
+// grants the pending request from it.
+func (c *Core) arrive(pkg *pkgstore.Package, u tree.NodeID) {
+	if err := pkg.BecomeStatic(); err != nil {
+		c.fail(err)
+		return
+	}
+	c.store(u).AddStatic(pkg)
+	c.finishGrant(pkg)
+}
+
+// finishGrant takes one permit from the static package at the request's
+// node, applies a granted topological change, and completes the request
+// (item 2 of Protocol GrantOrReject).
+func (c *Core) finishGrant(static *pkgstore.Package) {
+	req := c.cur.req
+	serial, empty, err := static.TakePermit()
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	if empty {
+		if err := c.store(req.Node).RemoveStatic(static); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+	c.granted++
+	c.counters.Inc(stats.CounterGrants)
+
+	g := controller.Grant{Outcome: controller.Granted, Serial: serial}
+	switch req.Kind {
+	case tree.None:
+		// Non-topological event: nothing further.
+	case tree.AddLeaf:
+		id, err := c.tr.ApplyAddLeaf(req.Node)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.stores[id] = pkgstore.NewStore()
+		g.NewNode = id
+		c.counters.Inc(stats.CounterTopoChanges)
+	case tree.AddInternal:
+		id, err := c.tr.ApplyAddInternal(req.Child)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.stores[id] = pkgstore.NewStore()
+		g.NewNode = id
+		c.counters.Inc(stats.CounterTopoChanges)
+	case tree.RemoveLeaf, tree.RemoveInternal:
+		if err := c.removeNode(req.Node, req.Kind); err != nil {
+			c.fail(err)
+			return
+		}
+		c.counters.Inc(stats.CounterTopoChanges)
+	}
+	c.finish(g)
+}
+
+// removeNode performs the graceful deletion: the node's packages travel to
+// its parent in one message, then the node leaves the tree. The runtime is
+// quiet toward the node at this point (the protocol is sequential), which
+// is the handshake the paper requires for graceful deletions.
+func (c *Core) removeNode(id tree.NodeID, kind tree.ChangeKind) error {
+	parent, err := c.tr.Parent(id)
+	if err != nil {
+		return err
+	}
+	pkgs, hadReject := c.store(id).TakeAll()
+	if len(pkgs) > 0 || hadReject {
+		c.rt.Send(id, parent, transfer{packages: pkgs, hadReject: hadReject})
+	}
+	delete(c.stores, id)
+	switch kind {
+	case tree.RemoveLeaf:
+		err = c.tr.ApplyRemoveLeaf(id)
+	case tree.RemoveInternal:
+		err = c.tr.ApplyRemoveInternal(id)
+	default:
+		err = fmt.Errorf("removeNode: unexpected kind %v", kind)
+	}
+	return err
+}
+
+// broadcastRejectWave floods a reject package to every node, one message
+// per tree edge (item 3b). Idempotent: once the wave ran, later requests
+// find the reject package locally.
+func (c *Core) broadcastRejectWave() {
+	if c.rejectWave {
+		return
+	}
+	c.rejectWave = true
+	root := c.tr.Root()
+	c.store(root).SetReject()
+	c.floodChildren(root)
+}
+
+// handleRejectFlood stores the reject package at the receiver and forwards
+// the wave to its children.
+func (c *Core) handleRejectFlood(id tree.NodeID) {
+	c.store(id).SetReject()
+	c.floodChildren(id)
+}
+
+func (c *Core) floodChildren(id tree.NodeID) {
+	kids, err := c.tr.Children(id)
+	if err != nil {
+		return // the node left the tree while the wave was in flight
+	}
+	for _, kid := range kids {
+		c.rt.Send(id, kid, rejectFlood{})
+	}
+}
+
+func (c *Core) finishReject() {
+	c.rejected++
+	c.counters.Inc(stats.CounterRejects)
+	c.finish(controller.Grant{Outcome: controller.Rejected})
+}
+
+func (c *Core) finish(g controller.Grant) {
+	c.cur.grant = g
+	c.cur.done = true
+}
+
+func (c *Core) fail(err error) {
+	c.cur.err = err
+	c.cur.done = true
+}
+
+// Submitter is the request-submission front-end of the distributed core; it
+// satisfies workload.Submitter.
+type Submitter struct {
+	core *Core
+}
+
+// NewSubmitter wraps a Core for direct request submission. rt names the
+// runtime the core was built with (the core drives it; the parameter keeps
+// the wiring explicit at call sites).
+func NewSubmitter(core *Core, rt sim.Runtime) *Submitter {
+	_ = rt
+	return &Submitter{core: core}
+}
+
+// Submit answers one request, blocking until the distributed protocol has
+// delivered the verdict.
+func (s *Submitter) Submit(req controller.Request) (controller.Grant, error) {
+	return s.core.submit(req)
+}

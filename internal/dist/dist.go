@@ -1,0 +1,85 @@
+// Package dist implements the distributed (M,W)-Controller of Section 4 of
+// the paper: the same waste-halving machinery as package controller, but
+// executed by message passing over a sim.Runtime, so that the cost measure
+// is message complexity instead of move complexity.
+//
+// The translation follows the paper's simulation (Lemma 4.5 / Theorem 4.7):
+//
+//   - A request at node u starts an agent that climbs the path toward the
+//     root, one message per hop, looking for the closest filler node — an
+//     ancestor holding a mobile package whose level qualifies for the hop
+//     distance traveled (Section 3.1, item 3).
+//   - The qualifying package (or a fresh one funded from the root storage)
+//     then descends back along the same path, one message per tree edge,
+//     splitting at the drop points u_k exactly as procedure Proc prescribes;
+//     a static package reaches u and one permit is granted.
+//   - Rejects flood the tree as a broadcast wave (one message per edge), and
+//     graceful deletions push a node's packages to its parent in one message
+//     — both matching the centralized move accounting one for one.
+//
+// Since the climb to a filler never exceeds the descent it triggers, the
+// delivered message count stays within a constant factor of the centralized
+// move count on the same trace; the property tests in dist_test.go replay
+// identical traces through both implementations and check precisely that,
+// together with bitwise-identical grant/reject sequences.
+//
+// Costs that the full protocol pays in broadcast/upcast phases the
+// simulation cannot route through the transport (iteration restarts,
+// termination detection, the N_i count of the unknown-U controller) are
+// accounted in the CounterControl tally; TotalMessages adds the two.
+package dist
+
+import (
+	"dynctrl/internal/controller"
+	"dynctrl/internal/pkgstore"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// ErrTerminated is returned by terminating controllers after termination.
+// It aliases controller.ErrTerminated so errors.Is works across layers.
+var ErrTerminated = controller.ErrTerminated
+
+// CounterControl names the stats counter accumulating control-plane
+// messages: broadcast/upcast phases that the message transport does not
+// carry explicitly (iteration bookkeeping, termination detection, DFS
+// relabelings of the applications).
+const CounterControl = "control-messages"
+
+// TotalMessages returns the total message complexity spent so far: messages
+// delivered by the transport plus accounted control messages.
+func TotalMessages(rt sim.Runtime, counters *stats.Counters) int64 {
+	return rt.Messages() + counters.Get(CounterControl)
+}
+
+// Message payloads of the distributed controller. All protocol state beyond
+// the per-node whiteboards (package stores) travels inside these envelopes.
+
+// searchUp climbs from the requesting node toward the root looking for the
+// closest filler node.
+type searchUp struct {
+	origin tree.NodeID // requesting node u
+	dist   int64       // hops traveled so far (distance of the receiver from u)
+}
+
+// descend carries a mobile package downward along the recorded search path,
+// one hop per message. path[0] is the node the package was found at (or the
+// root), path[len(path)-1] is the requesting node; idx is the index of the
+// receiving node.
+type descend struct {
+	pkg  *pkgstore.Package
+	path []tree.NodeID
+	idx  int
+}
+
+// rejectFlood broadcasts the reject wave: every receiving node stores a
+// reject package and forwards the wave to its children.
+type rejectFlood struct{}
+
+// transfer moves a gracefully deleted node's packages to its parent in one
+// message (item 2 of Protocol GrantOrReject).
+type transfer struct {
+	packages  []*pkgstore.Package
+	hadReject bool
+}

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"errors"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Dynamic is the distributed (M,W)-Controller for the general case where no
+// bound U on the number of nodes ever to exist is known in advance — the
+// paper's headline construction (Theorem 4.9). It runs the waste-halving
+// controller in iterations, re-estimating U_i = 2·N_i from the current node
+// count at each iteration start and ending iteration i after U_i/4
+// topological changes. Message complexity:
+// O(n₀log²n₀·log(M/(W+1)) + Σ_j log²n_j·log(M/(W+1))).
+type Dynamic struct {
+	tr       *tree.Tree
+	rt       sim.Runtime
+	w        int64
+	counters *stats.Counters
+
+	terminating bool
+	terminated  bool
+	rejectAll   bool
+
+	inner       *Iterated
+	mi          int64
+	ui          int64
+	zi          int64 // topological changes in the current iteration
+	grantedBase int64 // permits granted before this iteration
+	iterations  int
+}
+
+// NewDynamic builds a distributed unknown-U (m, w)-Controller over tr. When
+// terminating is true the controller returns ErrTerminated on exhaustion
+// instead of rejecting. counters may be nil.
+func NewDynamic(tr *tree.Tree, rt sim.Runtime, m, w int64, terminating bool, counters *stats.Counters) *Dynamic {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	d := &Dynamic{tr: tr, rt: rt, w: w, counters: counters, terminating: terminating, mi: m}
+	d.startIteration()
+	return d
+}
+
+func (d *Dynamic) startIteration() {
+	d.iterations++
+	n := int64(d.tr.Size())
+	d.ui = 2 * n
+	if d.ui < 4 {
+		d.ui = 4
+	}
+	d.zi = 0
+	// Counting N_i is a broadcast/upcast over the current tree (Appendix A
+	// of the paper's accounting for the distributed iteration restart).
+	if n > 1 {
+		d.counters.Add(CounterControl, 2*(n-1))
+	}
+	d.inner = NewIterated(d.tr, d.rt, d.ui, d.mi, d.w, true, d.counters)
+	d.grantedBase = d.totalGrantedSoFar()
+}
+
+func (d *Dynamic) totalGrantedSoFar() int64 {
+	return d.counters.Get(stats.CounterGrants)
+}
+
+// Granted returns the total permits granted across all iterations.
+func (d *Dynamic) Granted() int64 { return d.counters.Get(stats.CounterGrants) }
+
+// Iterations returns the number of outer iterations started.
+func (d *Dynamic) Iterations() int { return d.iterations }
+
+// Counters returns the shared cost counters.
+func (d *Dynamic) Counters() *stats.Counters { return d.counters }
+
+// Terminated reports whether a terminating controller has terminated.
+func (d *Dynamic) Terminated() bool { return d.terminated }
+
+// Submit answers one request, restarting the inner controller with fresh
+// U_i and M_i estimates whenever the iteration has admitted U_i/4
+// topological changes.
+func (d *Dynamic) Submit(req controller.Request) (controller.Grant, error) {
+	if d.terminated {
+		return controller.Grant{}, ErrTerminated
+	}
+	if d.rejectAll {
+		d.counters.Inc(stats.CounterRejects)
+		return controller.Grant{Outcome: controller.Rejected}, nil
+	}
+	g, err := d.inner.Submit(req)
+	if errors.Is(err, ErrTerminated) {
+		// Global permit exhaustion: by the liveness of each inner
+		// terminating controller, at least M−W permits were granted.
+		return d.exhausted()
+	}
+	if err != nil {
+		return controller.Grant{}, err
+	}
+	if g.Outcome == controller.Granted && req.Kind != tree.None {
+		d.zi++
+		if d.zi >= maxInt64(d.ui/4, 1) {
+			d.endIteration()
+		}
+	}
+	return g, nil
+}
+
+// endIteration closes the books on the current iteration: Y_i permits were
+// consumed, so M_{i+1} = M_i − Y_i, and the next iteration restarts the
+// inner stack with a fresh U estimate.
+func (d *Dynamic) endIteration() {
+	yi := d.totalGrantedSoFar() - d.grantedBase
+	d.mi -= yi
+	if d.mi < 0 {
+		d.mi = 0
+	}
+	d.startIteration()
+}
+
+func (d *Dynamic) exhausted() (controller.Grant, error) {
+	if d.terminating {
+		d.terminated = true
+		return controller.Grant{}, ErrTerminated
+	}
+	d.rejectAll = true
+	if n := int64(d.tr.Size()); n > 1 {
+		d.counters.Add(CounterControl, n-1)
+	}
+	d.counters.Inc(stats.CounterRejects)
+	return controller.Grant{Outcome: controller.Rejected}, nil
+}

@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"fmt"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// Iterated is the distributed waste-halving (M,W)-Controller (Observation
+// 3.4 over messages): it runs (M_i, M_i/2)-cores in iterations, setting
+// M_{i+1} to the unused permits L when iteration i exhausts, until L is
+// within a constant factor of W; the final iteration runs an (L, W)-core.
+// The W = 0 case appends the trivial controller that walks each remaining
+// permit down from the root.
+//
+// Message complexity: O(U·log²U·log(M/(W+1))) (Theorem 4.7).
+type Iterated struct {
+	tr          *tree.Tree
+	rt          sim.Runtime
+	u           int64
+	w           int64
+	counters    *stats.Counters
+	terminating bool
+
+	cur        *Core
+	curM       int64
+	iterations int
+	finalPhase bool
+
+	// Trivial phase state (W = 0 tail).
+	trivialPhase bool
+	trivialLeft  int64
+
+	terminated bool
+	rejectAll  bool
+	granted    int64
+}
+
+// NewIterated builds the distributed waste-halving (m, w)-Controller over
+// tr with the fixed node bound u. When terminating is true the driver
+// returns ErrTerminated on exhaustion instead of rejecting (Observation 2.1
+// applied to the whole stack).
+func NewIterated(tr *tree.Tree, rt sim.Runtime, u, m, w int64, terminating bool, counters *stats.Counters) *Iterated {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	it := &Iterated{tr: tr, rt: rt, u: u, w: w, counters: counters, terminating: terminating, curM: m}
+	it.startIteration(m)
+	return it
+}
+
+func (it *Iterated) startIteration(m int64) {
+	it.iterations++
+	it.counters.Inc(stats.CounterIterations)
+	it.curM = m
+	if it.w > 0 && m <= 2*it.w {
+		// Final iteration: an (m, W)-core; rejects are issued by the
+		// driver, so the core itself never floods the wave.
+		it.finalPhase = true
+		it.cur = NewCore(it.tr, it.rt, it.u, m, it.w,
+			WithCounters(it.counters), WithNoRejects())
+		return
+	}
+	it.cur = NewCore(it.tr, it.rt, it.u, m, maxInt64(m/2, 1),
+		WithCounters(it.counters), WithNoRejects())
+}
+
+// Granted returns the total permits granted across all iterations.
+func (it *Iterated) Granted() int64 { return it.granted }
+
+// Iterations returns the number of iterations started so far.
+func (it *Iterated) Iterations() int { return it.iterations }
+
+// Terminated reports whether a terminating driver has terminated.
+func (it *Iterated) Terminated() bool { return it.terminated }
+
+// Counters returns the shared cost counters.
+func (it *Iterated) Counters() *stats.Counters { return it.counters }
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Submit answers one request. A terminating driver returns ErrTerminated
+// once the permit budget is exhausted; otherwise exhaustion triggers a
+// reject wave and rejects.
+func (it *Iterated) Submit(req controller.Request) (controller.Grant, error) {
+	if it.terminated {
+		return controller.Grant{}, ErrTerminated
+	}
+	if it.rejectAll {
+		it.counters.Inc(stats.CounterRejects)
+		return controller.Grant{Outcome: controller.Rejected}, nil
+	}
+	for attempt := 0; attempt < 128; attempt++ {
+		if it.trivialPhase {
+			return it.submitTrivial(req)
+		}
+		g, err := it.cur.submit(req)
+		if err != nil {
+			return controller.Grant{}, err
+		}
+		if g.Outcome == controller.Granted {
+			it.granted++
+			return g, nil
+		}
+		if g.Outcome == controller.Rejected {
+			// Only a reject package already present rejects here.
+			return g, nil
+		}
+		// WouldReject: the current iteration is exhausted.
+		if it.finalPhase {
+			return it.exhausted()
+		}
+		// Collecting the unused permits back to the root is a
+		// broadcast/upcast over the current tree in the distributed
+		// setting.
+		l := it.cur.UnusedPermits()
+		it.cur.ClearPackages()
+		if n := int64(it.tr.Size()); n > 1 {
+			it.counters.Add(CounterControl, 2*(n-1))
+		}
+		if it.w == 0 {
+			if l == 0 {
+				return it.exhausted()
+			}
+			it.trivialPhase = true
+			it.trivialLeft = l
+			continue
+		}
+		it.startIteration(l)
+	}
+	return controller.Grant{}, controller.ErrIterationCap
+}
+
+// submitTrivial implements the trivial tail controller used when W = 0:
+// each remaining permit walks directly from the root to the requesting
+// node, costing its depth in messages.
+func (it *Iterated) submitTrivial(req controller.Request) (controller.Grant, error) {
+	if it.trivialLeft <= 0 {
+		return it.exhausted()
+	}
+	d, err := it.tr.Distance(req.Node, it.tr.Root())
+	if err != nil {
+		return controller.Grant{}, err
+	}
+	it.counters.Add(CounterControl, int64(d))
+	it.trivialLeft--
+	it.granted++
+	it.counters.Inc(stats.CounterGrants)
+	g := controller.Grant{Outcome: controller.Granted}
+	newNode, err := applyChange(it.tr, req)
+	if err != nil {
+		return controller.Grant{}, err
+	}
+	g.NewNode = newNode
+	if req.Kind != tree.None {
+		it.counters.Inc(stats.CounterTopoChanges)
+	}
+	return g, nil
+}
+
+// exhausted handles global permit exhaustion: terminating drivers terminate
+// (paying the broadcast/upcast of Observation 2.1); otherwise a reject wave
+// floods the tree and the request is rejected.
+func (it *Iterated) exhausted() (controller.Grant, error) {
+	if it.terminating {
+		it.terminated = true
+		if n := int64(it.tr.Size()); n > 1 {
+			it.counters.Add(CounterControl, 2*(n-1))
+		}
+		return controller.Grant{}, ErrTerminated
+	}
+	it.rejectAll = true
+	if n := int64(it.tr.Size()); n > 1 {
+		it.counters.Add(CounterControl, n-1)
+	}
+	it.counters.Inc(stats.CounterRejects)
+	return controller.Grant{Outcome: controller.Rejected}, nil
+}
+
+// applyChange applies a granted topological request to the tree and returns
+// the id of a created node, if any (trivial-phase grants run without
+// package stores).
+func applyChange(tr *tree.Tree, req controller.Request) (tree.NodeID, error) {
+	switch req.Kind {
+	case tree.None:
+		return tree.InvalidNode, nil
+	case tree.AddLeaf:
+		return tr.ApplyAddLeaf(req.Node)
+	case tree.AddInternal:
+		return tr.ApplyAddInternal(req.Child)
+	case tree.RemoveLeaf:
+		return tree.InvalidNode, tr.ApplyRemoveLeaf(req.Node)
+	case tree.RemoveInternal:
+		return tree.InvalidNode, tr.ApplyRemoveInternal(req.Node)
+	default:
+		return tree.InvalidNode, fmt.Errorf("applyChange: unknown kind %v", req.Kind)
+	}
+}
+
+// Terminating wraps a no-reject distributed Core as a terminating
+// (M,W)-Controller (Observation 2.1): instead of ever rejecting, it
+// terminates. At termination the number of granted permits m satisfies
+// M−W ≤ m ≤ M.
+type Terminating struct {
+	core       *Core
+	terminated bool
+}
+
+// NewTerminating builds a terminating distributed (m,w)-Controller over tr
+// with the fixed bound u, accounting costs into counters (which may be
+// nil).
+func NewTerminating(tr *tree.Tree, rt sim.Runtime, u, m, w int64, counters *stats.Counters, opts ...CoreOption) *Terminating {
+	if counters != nil {
+		opts = append(opts, WithCounters(counters))
+	}
+	opts = append(opts, WithNoRejects())
+	return &Terminating{core: NewCore(tr, rt, u, m, w, opts...)}
+}
+
+// Core exposes the wrapped core (for inspection in drivers and tests).
+func (t *Terminating) Core() *Core { return t.core }
+
+// Terminated reports whether the controller has terminated.
+func (t *Terminating) Terminated() bool { return t.terminated }
+
+// Granted returns the permits granted before termination.
+func (t *Terminating) Granted() int64 { return t.core.Granted() }
+
+// Submit forwards the request unless terminated. The first request the core
+// cannot fund flips the controller into the terminated state; that request
+// (and all later ones) receive ErrTerminated. The broadcast/upcast that
+// verifies granted events at termination (Observation 2.1) is accounted as
+// control messages.
+func (t *Terminating) Submit(req controller.Request) (controller.Grant, error) {
+	if t.terminated {
+		return controller.Grant{}, ErrTerminated
+	}
+	g, err := t.core.submit(req)
+	if err != nil {
+		return controller.Grant{}, err
+	}
+	if g.Outcome == controller.WouldReject {
+		t.terminate()
+		return controller.Grant{}, ErrTerminated
+	}
+	return g, nil
+}
+
+// Terminate forces termination (drivers use this when an iteration ends for
+// an external reason).
+func (t *Terminating) Terminate() {
+	if !t.terminated {
+		t.terminate()
+	}
+}
+
+func (t *Terminating) terminate() {
+	t.terminated = true
+	if n := int64(t.core.tr.Size()); n > 1 {
+		t.core.counters.Add(CounterControl, 2*(n-1))
+	}
+}
