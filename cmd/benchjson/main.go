@@ -1,0 +1,289 @@
+// Command benchjson runs the pinned E-series benchmark workload and emits a
+// machine-readable BENCH_<label>.json. CI's perf-smoke job runs it on every
+// push, uploads the JSON as an artifact, and compares the measured
+// throughput against the committed BENCH_baseline.json, failing on a >2x
+// regression (see -compare / -max-regress).
+//
+// Usage:
+//
+//	benchjson -label baseline -out BENCH_baseline.json
+//	benchjson -label pr -out BENCH_pr.json -compare BENCH_baseline.json
+//
+// The pinned workload is the metered-traffic experiment (E13's event-only
+// mix) over a balanced 256-node tree: 8 concurrent clients submit 2048
+// events each (seed 42) against the distributed unknown-U controller with
+// M = 4× the trace size and W = M/2. Two paths are measured on identical
+// traces: the serial Submit loop and the batched submission pipeline
+// (chunks of 128 requests per client). A separate pinned churn run (E3's
+// fully-dynamic mix) reports the amortized message complexity per
+// topological change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dynctrl/internal/dist"
+	"dynctrl/internal/pipeline"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/workload"
+)
+
+// Pinned workload parameters. Changing any of these invalidates committed
+// baselines; bump Schema and refresh BENCH_baseline.json when you do.
+const (
+	schemaVersion = 1
+
+	treeNodes = 256
+	clients   = 8
+	perClient = 2048
+	chunk     = 128
+	traceSeed = 42
+	ctlSeed   = 3
+
+	churnNodes = 128
+	churnSeed  = 9
+)
+
+// Measurement is one measured submission path.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	MsgsPerOp   float64 `json:"messages_per_op"`
+}
+
+// Report is the BENCH_<label>.json document.
+type Report struct {
+	Label     string                 `json:"label"`
+	Schema    int                    `json:"schema"`
+	GoVersion string                 `json:"go_version"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	Workload  map[string]any         `json:"workload"`
+	Results   map[string]Measurement `json:"results"`
+	// PipelineSpeedup is results["pipeline"] over results["serial"]
+	// throughput on the identical trace.
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// MessagesPerChange is the amortized message complexity per
+	// topological change on the pinned churn run (the paper's headline
+	// cost measure).
+	MessagesPerChange float64 `json:"messages_per_change"`
+}
+
+func main() {
+	label := flag.String("label", "local", "label naming this run (BENCH_<label>.json)")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
+	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on regression")
+	maxRegress := flag.Float64("max-regress", 2.0, "maximum tolerated ops/sec regression factor vs the baseline")
+	runs := flag.Int("runs", 5, "measurement repetitions (best run is reported)")
+	flag.Parse()
+
+	rep := Report{
+		Label:     *label,
+		Schema:    schemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload: map[string]any{
+			"experiment": "E13-metered-pipeline",
+			"tree":       fmt.Sprintf("balanced-%d", treeNodes),
+			"clients":    clients,
+			"per_client": perClient,
+			"chunk":      chunk,
+			"mix":        "event-only",
+			"seed":       traceSeed,
+		},
+		Results: map[string]Measurement{},
+	}
+
+	total := clients * perClient
+	m := int64(total) * 4
+	w := m / 2
+	rep.Workload["m"] = m
+	rep.Workload["w"] = w
+
+	rep.Results["serial"] = measure(*runs, total, func() (func(), func() int64) {
+		tr := buildBenchTree()
+		ctl := dist.NewDynamic(tr, sim.NewDeterministic(ctlSeed), m, w, false, nil)
+		ct := buildBenchTrace(tr)
+		reqs := ct.Serial()
+		rt := ctlRuntime(ctl)
+		return func() {
+			for _, req := range reqs {
+				if _, err := ctl.Submit(req); err != nil {
+					fatalf("serial submit: %v", err)
+				}
+			}
+		}, rt
+	})
+
+	rep.Results["pipeline"] = measure(*runs, total, func() (func(), func() int64) {
+		tr := buildBenchTree()
+		ctl := dist.NewDynamic(tr, sim.NewDeterministic(ctlSeed), m, w, false, nil)
+		pl := pipeline.New(ctl)
+		ct := buildBenchTrace(tr)
+		rt := ctlRuntime(ctl)
+		return func() {
+			res := workload.RunConcurrentChunked(pl, ct, chunk)
+			if res.Errors > 0 {
+				fatalf("pipeline run: %d request errors", res.Errors)
+			}
+		}, rt
+	})
+
+	rep.PipelineSpeedup = rep.Results["pipeline"].OpsPerSec / rep.Results["serial"].OpsPerSec
+	rep.MessagesPerChange = measureChurnMessages()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *label)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	os.Stdout.Write(buf)
+
+	if *compare != "" {
+		if err := compareBaseline(*compare, rep, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: within %.1fx of %s\n", *maxRegress, *compare)
+	}
+}
+
+func buildBenchTree() *tree.Tree {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, treeNodes, 1); err != nil {
+		fatalf("build tree: %v", err)
+	}
+	return tr
+}
+
+func buildBenchTrace(tr *tree.Tree) *workload.ConcurrentTrace {
+	ct, err := workload.NewConcurrentTrace(tr, clients, perClient, workload.EventOnlyConcurrentMix(), traceSeed)
+	if err != nil {
+		fatalf("build trace: %v", err)
+	}
+	return ct
+}
+
+// ctlRuntime returns a sampler of the controller's delivered-message count.
+func ctlRuntime(ctl *dist.Dynamic) func() int64 {
+	return func() int64 { return dist.TotalMessages(ctl.Runtime(), ctl.Counters()) }
+}
+
+// measure runs setup+run `runs` times and reports the best run (standard
+// benchmarking practice: the minimum is the least-noisy estimate) with
+// allocation and message counts from that run.
+func measure(runs, requests int, setup func() (func(), func() int64)) Measurement {
+	if runs < 1 {
+		runs = 1
+	}
+	best := Measurement{NsPerOp: float64(0)}
+	for i := 0; i < runs; i++ {
+		run, msgs := setup()
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		m0 := msgs()
+		t0 := time.Now()
+		run()
+		dt := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		cur := Measurement{
+			NsPerOp:     float64(dt.Nanoseconds()) / float64(requests),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(requests),
+			BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(requests),
+			MsgsPerOp:   float64(msgs()-m0) / float64(requests),
+		}
+		cur.OpsPerSec = 1e9 / cur.NsPerOp
+		if i == 0 || cur.NsPerOp < best.NsPerOp {
+			best = cur
+		}
+	}
+	return best
+}
+
+// measureChurnMessages replays the pinned fully-dynamic churn (E3's mix)
+// through a fresh distributed controller and returns the amortized message
+// complexity per topological change.
+func measureChurnMessages() float64 {
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, churnNodes, 1); err != nil {
+		fatalf("churn tree: %v", err)
+	}
+	counters := stats.NewCounters()
+	rt := sim.NewDeterministic(churnSeed)
+	m := int64(16 * churnNodes)
+	ctl := dist.NewDynamic(tr, rt, m, 0, false, counters)
+	gen := workload.NewChurn(tr, workload.Mix{AddLeaf: 30, RemoveLeaf: 25, AddInternal: 20, RemoveInternal: 25}, churnSeed)
+	gen.SetMinSize(churnNodes / 4)
+	for i := 0; i < 4*churnNodes; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := ctl.Submit(req); err != nil {
+			fatalf("churn submit: %v", err)
+		}
+	}
+	changes := counters.Get(stats.CounterTopoChanges)
+	if changes == 0 {
+		return 0
+	}
+	return float64(dist.TotalMessages(rt, counters)) / float64(changes)
+}
+
+// compareBaseline fails when any measured path's throughput fell by more
+// than maxRegress relative to the baseline report.
+func compareBaseline(path string, cur Report, maxRegress float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("baseline schema %d, current %d: refresh the baseline", base.Schema, cur.Schema)
+	}
+	for name, b := range base.Results {
+		c, ok := cur.Results[name]
+		if !ok {
+			return fmt.Errorf("baseline result %q missing from current run", name)
+		}
+		if b.OpsPerSec <= 0 {
+			continue
+		}
+		ratio := b.OpsPerSec / c.OpsPerSec
+		fmt.Fprintf(os.Stderr, "benchjson: %-8s baseline %.0f ops/s, current %.0f ops/s (%.2fx)\n",
+			name, b.OpsPerSec, c.OpsPerSec, ratio)
+		if ratio > maxRegress {
+			return fmt.Errorf("%s regressed %.2fx (> %.1fx allowed): %.0f -> %.0f ops/s"+
+				" (if this machine is legitimately slower than the baseline's,"+
+				" refresh BENCH_baseline.json; see README \"Benchmarking and CI gates\")",
+				name, ratio, maxRegress, b.OpsPerSec, c.OpsPerSec)
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -39,6 +39,7 @@ import (
 	"dynctrl/internal/labeling"
 	"dynctrl/internal/majority"
 	"dynctrl/internal/naming"
+	"dynctrl/internal/pipeline"
 	"dynctrl/internal/sim"
 	"dynctrl/internal/stats"
 	"dynctrl/internal/tree"
@@ -117,6 +118,42 @@ func NewController(tr *Tree, rt Runtime, m, w int64) *Controller {
 // NewControllerWithCounters is NewController with shared counters.
 func NewControllerWithCounters(tr *Tree, rt Runtime, m, w int64, c *Counters) *Controller {
 	return dist.NewDynamic(tr, rt, m, w, false, c)
+}
+
+// Pipeline is the concurrent batched submission front-end: requests
+// arriving from many goroutines are coalesced into batches and driven
+// through the controller so that one filler-search climb/descent wave is
+// amortized across a whole batch instead of per request. Grant/reject
+// semantics — and the safety invariant that at most M permits are ever
+// granted — are exactly those of the serial Submit loop on the same trace.
+//
+//	ctl := dynctrl.NewController(tr, rt, 1_000_000, 50_000)
+//	pl := dynctrl.NewPipeline(ctl)
+//	// from any number of goroutines:
+//	grant, err := pl.Submit(dynctrl.Request{Node: id, Kind: dynctrl.None})
+//	// barrier: wait until everything submitted so far has been answered
+//	pl.Flush()
+//
+// See Pipeline.Submit, Pipeline.Flush, Pipeline.Close and Pipeline.Stats.
+type Pipeline = pipeline.Pipeline
+
+// PipelineOption configures a Pipeline (see WithMaxBatch).
+type PipelineOption = pipeline.Option
+
+// WithMaxBatch bounds the number of requests one pipeline batch may carry
+// (default pipeline.DefaultMaxBatch).
+func WithMaxBatch(n int) PipelineOption { return pipeline.WithMaxBatch(n) }
+
+// BatchSubmitter is a controller that can answer a whole batch of requests
+// with serial-equivalent semantics. The distributed Controller and the
+// centralized cores implement it.
+type BatchSubmitter = controller.BatchSubmitter
+
+// NewPipeline builds a concurrent batched submission pipeline over the
+// given controller. The controller must no longer be driven directly while
+// the pipeline is in use (the pipeline serializes all access to it).
+func NewPipeline(ctl BatchSubmitter, opts ...PipelineOption) *Pipeline {
+	return pipeline.New(ctl, opts...)
 }
 
 // Estimator maintains a β-approximation of the network size at every node.

@@ -208,3 +208,36 @@ func TestPublicNCAAndDistanceLabels(t *testing.T) {
 		t.Fatalf("distance(deep, right) = %d, want 3", d)
 	}
 }
+
+func TestPublicPipeline(t *testing.T) {
+	tr, root := dynctrl.NewTree()
+	rt := dynctrl.NewRuntime(7)
+	ctl := dynctrl.NewController(tr, rt, 500, 100)
+	pl := dynctrl.NewPipeline(ctl, dynctrl.WithMaxBatch(32))
+
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				if _, err := pl.Submit(dynctrl.Request{Node: root, Kind: dynctrl.None}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl.Flush()
+	if got := ctl.Granted(); got != 200 {
+		t.Fatalf("granted %d permits, want 200", got)
+	}
+	pl.Close()
+	if _, err := pl.Submit(dynctrl.Request{Node: root, Kind: dynctrl.None}); err == nil {
+		t.Fatal("submit after Close: want error")
+	}
+}

@@ -86,6 +86,9 @@ type Core struct {
 	counters *stats.Counters
 	domains  *DomainTracker
 	descent  DescentObserver
+	// pathBuf is the reusable ancestor-walk buffer of the filler search;
+	// findFiller overwrites it on every call, so no path escapes a request.
+	pathBuf []tree.NodeID
 
 	noRejects    bool
 	trackDomains bool
@@ -329,10 +332,11 @@ func (c *Core) reject() Grant {
 // returns the first (closest) filler node and its qualifying package of the
 // smallest qualifying level, or (0, nil) when none exists.
 func (c *Core) findFiller(u tree.NodeID) (tree.NodeID, *pkgstore.Package, error) {
-	path, err := c.tr.PathToRoot(u)
+	path, err := c.tr.AppendPathToRoot(u, c.pathBuf[:0])
 	if err != nil {
 		return tree.InvalidNode, nil, err
 	}
+	c.pathBuf = path[:0]
 	for d, w := range path {
 		if pk := c.store(w).MobileAtFillerDistance(c.params, int64(d)); pk != nil {
 			return w, pk, nil

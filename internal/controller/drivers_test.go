@@ -131,6 +131,9 @@ func TestIteratedTopologicalChurn(t *testing.T) {
 }
 
 func TestIteratedMoveComplexityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep up to n=1024; skipped in -short")
+	}
 	// Obs 3.4: moves = O(U·log²U·log(M/(W+1))). The per-U normalized cost
 	// should grow no faster than log²U (allow generous slack by asserting
 	// the growth exponent of moves vs U stays well below 1.5).
@@ -220,6 +223,9 @@ func TestDynamicTerminating(t *testing.T) {
 }
 
 func TestDynamicAmortizedCostPerChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs >1000 topological changes to amortize; skipped in -short")
+	}
 	// Theorem 3.5(1): moves = O(n₀log²n₀ + Σ_j log²n_j). With n bounded by
 	// nMax during the run, moves per topological change should be
 	// O(log²nMax); assert with a generous constant.

@@ -9,6 +9,19 @@ import (
 	"dynctrl/internal/workload"
 )
 
+// quickMaxCount scales a property-test iteration budget down under -short
+// so `go test -short ./...` stays fast while CI keeps the full sweep.
+func quickMaxCount(full int) int {
+	if testing.Short() {
+		n := full / 5
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	return full
+}
+
 // TestPropertySafetyLiveness drives random (M, W, workload-seed) triples
 // through the waste-halving controller and asserts the correctness
 // conditions hold for every combination.
@@ -52,7 +65,7 @@ func TestPropertySafetyLiveness(t *testing.T) {
 		}
 		return tr.Validate() == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: quickMaxCount(30)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -88,7 +101,7 @@ func TestPropertyDomainInvariants(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: quickMaxCount(20)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -129,7 +142,7 @@ func TestPropertyDynamicConservation(t *testing.T) {
 		}
 		return tr.Validate() == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: quickMaxCount(15)}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -36,8 +36,11 @@ type Core struct {
 	rejected   int64
 
 	// cur holds the in-flight request; it is only non-nil between the
-	// start of submit and the completion of the matching Drain.
-	cur *pending
+	// start of submit and the completion of the matching Drain. It points
+	// at pendingSlot, which is reused across requests (one request is in
+	// flight at a time).
+	cur         *pending
+	pendingSlot pending
 }
 
 // pending is the per-request result slot the message handlers write into.
@@ -167,7 +170,8 @@ func (c *Core) submit(req controller.Request) (controller.Grant, error) {
 		return controller.Grant{}, err
 	}
 	c.rt.SetHandler(c.handle)
-	c.cur = &pending{req: req}
+	c.pendingSlot = pending{req: req}
+	c.cur = &c.pendingSlot
 	c.localStep(req.Node)
 	c.rt.Drain()
 	p := c.cur
@@ -238,7 +242,9 @@ func (c *Core) localStep(u tree.NodeID) {
 		c.fail(err)
 		return
 	}
-	c.rt.Send(u, parent, searchUp{origin: u, dist: 1})
+	pl := searchUpPool.Get().(*searchUp)
+	pl.origin, pl.dist = u, 1
+	c.rt.Send(u, parent, pl)
 }
 
 // handle dispatches one delivered message. It is installed on the runtime
@@ -249,9 +255,9 @@ func (c *Core) handle(m sim.Message) {
 		return // request already failed; drop the rest of the flight
 	}
 	switch pl := m.Payload.(type) {
-	case searchUp:
+	case *searchUp:
 		c.handleSearch(m.To, pl)
-	case descend:
+	case *descend:
 		c.handleDescend(pl)
 	case rejectFlood:
 		c.handleRejectFlood(m.To)
@@ -263,22 +269,30 @@ func (c *Core) handle(m sim.Message) {
 }
 
 // handleSearch continues the filler search at node w, which is pl.dist hops
-// above the requesting node (item 3 of Protocol GrantOrReject).
-func (c *Core) handleSearch(w tree.NodeID, pl searchUp) {
+// above the requesting node (item 3 of Protocol GrantOrReject). The climb
+// re-sends the same pooled envelope hop after hop and releases it when the
+// search ends.
+func (c *Core) handleSearch(w tree.NodeID, pl *searchUp) {
 	if pk := c.store(w).MobileAtFillerDistance(c.params, pl.dist); pk != nil {
-		c.startDescent(w, pk, pl.origin)
+		origin := pl.origin
+		putSearchUp(pl)
+		c.startDescent(w, pk, origin)
 		return
 	}
 	if w == c.tr.Root() {
-		c.rootStep(pl.origin, pl.dist)
+		origin, dist := pl.origin, pl.dist
+		putSearchUp(pl)
+		c.rootStep(origin, dist)
 		return
 	}
 	parent, err := c.tr.Parent(w)
 	if err != nil {
+		putSearchUp(pl)
 		c.fail(err)
 		return
 	}
-	c.rt.Send(w, parent, searchUp{origin: pl.origin, dist: pl.dist + 1})
+	pl.dist++
+	c.rt.Send(w, parent, pl)
 }
 
 // rootStep handles a search that reached the root without finding a filler
@@ -335,36 +349,42 @@ func (c *Core) createAtRoot(level int) (*pkgstore.Package, error) {
 
 // startDescent removes pkg from host's store and sends it down the tree
 // toward origin, one message per edge (procedure Proc, item 4). The path is
-// the breadcrumb trail the upward search established.
+// the breadcrumb trail the upward search established; it lives in a pooled
+// descend envelope whose buffer is reused across requests.
 func (c *Core) startDescent(host tree.NodeID, pkg *pkgstore.Package, origin tree.NodeID) {
 	if err := c.store(host).RemoveMobile(pkg); err != nil {
 		c.fail(fmt.Errorf("distribute: %w", err))
 		return
 	}
-	up, err := c.tr.PathBetween(origin, host)
+	pl := descendPool.Get().(*descend)
+	path, err := c.tr.AppendPathBetween(origin, host, pl.path[:0])
 	if err != nil {
+		putDescend(pl)
 		c.fail(err)
 		return
 	}
 	// Reverse to host-first order so path[i] is len(path)-1-i hops above
 	// origin.
-	path := make([]tree.NodeID, len(up))
-	for i, id := range up {
-		path[len(up)-1-i] = id
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
 	}
 	if len(path) == 1 {
 		// The package was found at origin itself (a level-0 filler at
 		// d = 0): no transport needed.
+		pl.path = path
+		putDescend(pl)
 		c.arrive(pkg, origin)
 		return
 	}
-	c.rt.Send(host, path[1], descend{pkg: pkg, path: path, idx: 1})
+	pl.pkg, pl.path, pl.idx = pkg, path, 1
+	c.rt.Send(host, path[1], pl)
 }
 
 // handleDescend advances the package one hop: the receiving node path[idx]
 // is dist hops above origin; packages split when they enter a drop point
-// u_{k-1} and convert to static on arrival.
-func (c *Core) handleDescend(pl descend) {
+// u_{k-1} and convert to static on arrival. The same pooled envelope is
+// re-sent hop after hop and released on arrival.
+func (c *Core) handleDescend(pl *descend) {
 	node := pl.path[pl.idx]
 	dist := int64(len(pl.path) - 1 - pl.idx)
 	pkg := pl.pkg
@@ -377,6 +397,7 @@ func (c *Core) handleDescend(pl descend) {
 	for pkg.Level > 0 && dist == c.params.UKDistance(pkg.Level-1) {
 		p1, p2, err := pkg.Split()
 		if err != nil {
+			putDescend(pl)
 			c.fail(err)
 			return
 		}
@@ -384,10 +405,13 @@ func (c *Core) handleDescend(pl descend) {
 		pkg = p2
 	}
 	if dist == 0 {
+		putDescend(pl)
 		c.arrive(pkg, node)
 		return
 	}
-	c.rt.Send(node, pl.path[pl.idx+1], descend{pkg: pkg, path: pl.path, idx: pl.idx + 1})
+	pl.pkg = pkg
+	pl.idx++
+	c.rt.Send(node, pl.path[pl.idx], pl)
 }
 
 // arrive converts the level-0 package to static at the requesting node and

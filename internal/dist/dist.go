@@ -30,6 +30,8 @@
 package dist
 
 import (
+	"sync"
+
 	"dynctrl/internal/controller"
 	"dynctrl/internal/pkgstore"
 	"dynctrl/internal/sim"
@@ -57,7 +59,9 @@ func TotalMessages(rt sim.Runtime, counters *stats.Counters) int64 {
 // the per-node whiteboards (package stores) travels inside these envelopes.
 
 // searchUp climbs from the requesting node toward the root looking for the
-// closest filler node.
+// closest filler node. Envelopes are pooled: the protocol re-sends the same
+// object hop after hop (exactly one copy is ever in flight per request) and
+// releases it when the climb ends.
 type searchUp struct {
 	origin tree.NodeID // requesting node u
 	dist   int64       // hops traveled so far (distance of the receiver from u)
@@ -66,11 +70,24 @@ type searchUp struct {
 // descend carries a mobile package downward along the recorded search path,
 // one hop per message. path[0] is the node the package was found at (or the
 // root), path[len(path)-1] is the requesting node; idx is the index of the
-// receiving node.
+// receiving node. Like searchUp, descend envelopes (and their path buffers)
+// are pooled and reused across hops and requests.
 type descend struct {
 	pkg  *pkgstore.Package
 	path []tree.NodeID
 	idx  int
+}
+
+var searchUpPool = sync.Pool{New: func() any { return new(searchUp) }}
+
+var descendPool = sync.Pool{New: func() any { return new(descend) }}
+
+func putSearchUp(pl *searchUp) { searchUpPool.Put(pl) }
+
+func putDescend(pl *descend) {
+	pl.pkg = nil
+	pl.path = pl.path[:0]
+	descendPool.Put(pl)
 }
 
 // rejectFlood broadcasts the reject wave: every receiving node stores a

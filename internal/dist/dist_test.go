@@ -168,7 +168,13 @@ func TestCoreMatchesCentralized(t *testing.T) {
 			genC.SetMinSize(tc.n/4 + 1)
 			genD.SetMinSize(tc.n/4 + 1)
 
-			for i := 0; i < int(tc.m)*4; i++ {
+			steps := int(tc.m) * 4
+			if testing.Short() {
+				// The equivalence holds on every trace prefix; a shorter
+				// replay keeps -short fast.
+				steps = int(tc.m)
+			}
+			for i := 0; i < steps; i++ {
 				reqC, okC := genC.Next()
 				reqD, okD := genD.Next()
 				if okC != okD {
@@ -348,7 +354,7 @@ func TestMemoryBits(t *testing.T) {
 	if maxBits <= 0 {
 		t.Fatal("no whiteboard memory recorded after grants")
 	}
-	if core.MemoryBitsAt(tree.NodeID(1 << 30)) != 0 {
+	if core.MemoryBitsAt(tree.NodeID(1<<30)) != 0 {
 		t.Fatal("memory of a nonexistent node must be 0")
 	}
 }

@@ -76,6 +76,9 @@ func (d *Dynamic) Iterations() int { return d.iterations }
 // Counters returns the shared cost counters.
 func (d *Dynamic) Counters() *stats.Counters { return d.counters }
 
+// Runtime returns the message transport the controller runs over.
+func (d *Dynamic) Runtime() sim.Runtime { return d.rt }
+
 // Terminated reports whether a terminating controller has terminated.
 func (d *Dynamic) Terminated() bool { return d.terminated }
 

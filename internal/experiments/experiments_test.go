@@ -11,6 +11,9 @@ import (
 // table must render with a title, headers and at least one data row, and
 // the invariant columns must never report a violation.
 func TestExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment tables; skipped in -short")
+	}
 	cases := []struct {
 		name string
 		run  func() interface{ String() string }

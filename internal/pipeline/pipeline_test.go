@@ -1,0 +1,371 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/pipeline"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/workload"
+)
+
+func buildTree(t testing.TB, n int, seed int64) *tree.Tree {
+	t.Helper()
+	tr, _ := tree.New()
+	if err := workload.BuildBalanced(tr, n, seed); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestPipelineSafetyUnderConcurrentChurn is the concurrent-submitter safety
+// table: whatever the client count, batch size and mix, the total number of
+// granted permits never exceeds M. Run under -race this also exercises the
+// combining logic for data races.
+func TestPipelineSafetyUnderConcurrentChurn(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		m, w     int64
+		clients  int
+		perCl    int
+		maxBatch int
+		mix      workload.ConcurrentMix
+	}{
+		{"events-exhausting", 32, 300, 60, 8, 100, 64, workload.EventOnlyConcurrentMix()},
+		{"event-heavy-churn", 48, 500, 100, 6, 200, 32, workload.EventHeavyConcurrentMix()},
+		{"growth-exhausting", 24, 400, 80, 4, 300, 128, workload.ConcurrentMix{Event: 50, AddLeaf: 50}},
+		{"single-client", 16, 200, 40, 1, 400, 16, workload.EventHeavyConcurrentMix()},
+		{"tiny-batches", 32, 250, 50, 12, 50, 1, workload.EventOnlyConcurrentMix()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildTree(t, tc.n, 1)
+			counters := stats.NewCounters()
+			ctl := dist.NewDynamic(tr, sim.NewDeterministic(7), tc.m, tc.w, false, counters)
+			pl := pipeline.New(ctl, pipeline.WithMaxBatch(tc.maxBatch))
+			ct, err := workload.NewConcurrentTrace(tr, tc.clients, tc.perCl, tc.mix, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := workload.RunConcurrent(pl, ct)
+			pl.Flush()
+			if res.Errors > 0 {
+				t.Fatalf("unexpected submit errors: %d", res.Errors)
+			}
+			if res.Granted > tc.m {
+				t.Fatalf("safety violated: %d permits granted, M = %d", res.Granted, tc.m)
+			}
+			if got := counters.Get(stats.CounterGrants); got != res.Granted {
+				t.Fatalf("grant accounting: clients saw %d grants, counters say %d", res.Granted, got)
+			}
+			if res.Granted+res.Rejected != res.Submitted {
+				t.Fatalf("outcomes %d+%d do not cover %d submissions",
+					res.Granted, res.Rejected, res.Submitted)
+			}
+			st := pl.Stats()
+			if st.Requests != res.Submitted {
+				t.Fatalf("pipeline saw %d requests, clients submitted %d", st.Requests, res.Submitted)
+			}
+			if st.MaxBatch > tc.maxBatch {
+				t.Fatalf("batch of %d exceeds configured max %d", st.MaxBatch, tc.maxBatch)
+			}
+		})
+	}
+}
+
+// TestBatchSerialEquivalenceCentralized replays identical churn traces
+// through a serially driven core and a batch-driven core: the grant/reject
+// sequence, serial numbers and cost counters must match exactly.
+func TestBatchSerialEquivalenceCentralized(t *testing.T) {
+	const n, steps, batchSize = 64, 600, 7
+	trSerial := buildTree(t, n, 3)
+	trBatch := buildTree(t, n, 3)
+	u := int64(4 * n)
+	m := int64(300)
+	countersSerial := stats.NewCounters()
+	countersBatch := stats.NewCounters()
+	serial := controller.NewCore(trSerial, u, m, m/2, controller.WithCounters(countersSerial))
+	batch := controller.NewCore(trBatch, u, m, m/2, controller.WithCounters(countersBatch))
+
+	// The generator runs against the serial tree; both trees evolve
+	// identically while outcomes agree, so the recorded requests stay valid
+	// on the batch side.
+	gen := workload.NewChurn(trSerial, workload.DefaultMix(), 17)
+	gen.SetMinSize(n / 2)
+
+	var reqs []controller.Request
+	var want []controller.Grant
+	for i := 0; i < steps; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		g, err := serial.Submit(req)
+		if err != nil {
+			t.Fatalf("serial submit %d: %v", i, err)
+		}
+		reqs = append(reqs, req)
+		want = append(want, g)
+	}
+
+	var got []controller.BatchResult
+	for lo := 0; lo < len(reqs); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		got = batch.SubmitBatch(reqs[lo:hi], got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch answered %d of %d requests", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("batch request %d failed: %v", i, got[i].Err)
+		}
+		if got[i].Grant.Outcome != want[i].Outcome || got[i].Grant.Serial != want[i].Serial {
+			t.Fatalf("request %d: batch %+v, serial %+v", i, got[i].Grant, want[i])
+		}
+	}
+	if s, b := serial.Granted(), batch.Granted(); s != b {
+		t.Fatalf("granted: serial %d, batch %d", s, b)
+	}
+	for _, key := range []string{stats.CounterGrants, stats.CounterRejects, stats.CounterMoves} {
+		if s, b := countersSerial.Get(key), countersBatch.Get(key); s != b {
+			t.Fatalf("counter %s: serial %d, batch %d", key, s, b)
+		}
+	}
+}
+
+// TestBatchSerialEquivalenceDistributed is the same equivalence over the
+// public distributed unknown-U controller, including message accounting.
+func TestBatchSerialEquivalenceDistributed(t *testing.T) {
+	const n, batchSize = 48, 13
+	trSerial := buildTree(t, n, 5)
+	trBatch := buildTree(t, n, 5)
+	m, w := int64(400), int64(80)
+	rtSerial := sim.NewDeterministic(23)
+	rtBatch := sim.NewDeterministic(23)
+	countersSerial := stats.NewCounters()
+	countersBatch := stats.NewCounters()
+	serial := dist.NewDynamic(trSerial, rtSerial, m, w, false, countersSerial)
+	batch := dist.NewDynamic(trBatch, rtBatch, m, w, false, countersBatch)
+
+	ct, err := workload.NewConcurrentTrace(trSerial, 4, 200, workload.EventHeavyConcurrentMix(), 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := ct.Serial()
+
+	var want []controller.Grant
+	for i, req := range reqs {
+		g, err := serial.Submit(req)
+		if err != nil {
+			t.Fatalf("serial submit %d: %v", i, err)
+		}
+		want = append(want, g)
+	}
+	var got []controller.BatchResult
+	for lo := 0; lo < len(reqs); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		got = batch.SubmitBatch(reqs[lo:hi], got)
+	}
+	for i := range want {
+		if got[i].Err != nil {
+			t.Fatalf("batch request %d failed: %v", i, got[i].Err)
+		}
+		if got[i].Grant.Outcome != want[i].Outcome {
+			t.Fatalf("request %d: batch outcome %v, serial %v", i, got[i].Grant.Outcome, want[i].Outcome)
+		}
+	}
+	if s, b := serial.Granted(), batch.Granted(); s != b {
+		t.Fatalf("granted: serial %d, batch %d", s, b)
+	}
+	if s, b := rtSerial.Messages(), rtBatch.Messages(); s != b {
+		t.Fatalf("transport messages: serial %d, batch %d", s, b)
+	}
+	if s, b := dist.TotalMessages(rtSerial, countersSerial), dist.TotalMessages(rtBatch, countersBatch); s != b {
+		t.Fatalf("total messages: serial %d, batch %d", s, b)
+	}
+}
+
+// TestPipelineMatchesSerialOutcomeTotals drives the same trace once
+// serially and once through the concurrent pipeline; the aggregate
+// grant/reject totals must agree (per-request outcomes may differ in
+// ordering, which is exactly the nondeterminism of concurrent arrival).
+func TestPipelineMatchesSerialOutcomeTotals(t *testing.T) {
+	const n = 40
+	m, w := int64(350), int64(70)
+	trSerial := buildTree(t, n, 9)
+	trPipe := buildTree(t, n, 9)
+	serial := dist.NewDynamic(trSerial, sim.NewDeterministic(31), m, w, false, nil)
+	pipeCtl := dist.NewDynamic(trPipe, sim.NewDeterministic(31), m, w, false, nil)
+	pl := pipeline.New(pipeCtl)
+
+	ct, err := workload.NewConcurrentTrace(trSerial, 6, 150, workload.EventOnlyConcurrentMix(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serGranted, serRejected int64
+	for _, req := range ct.Serial() {
+		g, err := serial.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch g.Outcome {
+		case controller.Granted:
+			serGranted++
+		case controller.Rejected:
+			serRejected++
+		}
+	}
+	res := workload.RunConcurrent(pl, ct)
+	if res.Errors > 0 {
+		t.Fatalf("pipeline errors: %d", res.Errors)
+	}
+	// Event-only traces on a fixed tree are permutation-invariant: the
+	// controller grants exactly min(requests, budget) permits either way.
+	if res.Granted != serGranted || res.Rejected != serRejected {
+		t.Fatalf("pipeline granted/rejected %d/%d, serial %d/%d",
+			res.Granted, res.Rejected, serGranted, serRejected)
+	}
+}
+
+// TestPipelineErrorPropagation checks that a per-request error (an invalid
+// node) reaches exactly the submitter that caused it.
+func TestPipelineErrorPropagation(t *testing.T) {
+	tr := buildTree(t, 16, 13)
+	ctl := dist.NewDynamic(tr, sim.NewDeterministic(41), 100, 20, false, nil)
+	pl := pipeline.New(ctl)
+	if _, err := pl.Submit(controller.Request{Node: tree.NodeID(999), Kind: tree.None}); err == nil {
+		t.Fatal("submit at unknown node: want error, got nil")
+	}
+	if g, err := pl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil || g.Outcome != controller.Granted {
+		t.Fatalf("valid submit after failed one: grant %+v, err %v", g, err)
+	}
+}
+
+// TestPipelineFlushAndClose checks the barrier semantics of Flush and that
+// Close rejects later submissions.
+func TestPipelineFlushAndClose(t *testing.T) {
+	tr := buildTree(t, 16, 15)
+	ctl := dist.NewDynamic(tr, sim.NewDeterministic(43), 1000, 200, false, nil)
+	pl := pipeline.New(ctl, pipeline.WithMaxBatch(8))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := pl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pl.Flush() // must not deadlock with no work pending
+	if got := pl.Stats().Requests; got != 200 {
+		t.Fatalf("pipeline saw %d requests, want 200", got)
+	}
+	pl.Close()
+	if _, err := pl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != pipeline.ErrClosed {
+		t.Fatalf("submit after close: want ErrClosed, got %v", err)
+	}
+}
+
+// benchWorkload pins the E-series workload both benchmark paths share: the
+// metered-traffic experiment (E13's event-only mix) over a balanced
+// 256-node tree, with the permit budget sized generously (M = 4× the
+// trace) so every request is granted on both paths and the measured
+// quantity is pure submission throughput.
+func benchWorkload(b *testing.B, clients, perClient int) (*tree.Tree, *workload.ConcurrentTrace, int64, int64) {
+	b.Helper()
+	const n = 256
+	tr := buildTree(b, n, 1)
+	total := int64(clients*perClient) * 4
+	m, w := total, total/2
+	ct, err := workload.NewConcurrentTrace(tr, clients, perClient, workload.EventOnlyConcurrentMix(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, ct, m, w
+}
+
+// BenchmarkSubmitSerial is the baseline: the pinned workload driven
+// request-by-request through the public controller's serial Submit loop.
+func BenchmarkSubmitSerial(b *testing.B) {
+	for _, clients := range []int{8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tr, ct, m, w := benchWorkload(b, clients, 2048)
+				ctl := dist.NewDynamic(tr, sim.NewDeterministic(3), m, w, false, nil)
+				reqs := ct.Serial()
+				b.StartTimer()
+				for _, req := range reqs {
+					if _, err := ctl.Submit(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(reqs)), "req/iter")
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitPipeline drives the identical workload through the
+// concurrent batched pipeline, clients streaming chunks of 64 requests;
+// the acceptance bar is ≥2x the serial throughput on the same trace.
+func BenchmarkSubmitPipeline(b *testing.B) {
+	for _, clients := range []int{8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tr, ct, m, w := benchWorkload(b, clients, 2048)
+				ctl := dist.NewDynamic(tr, sim.NewDeterministic(3), m, w, false, nil)
+				pl := pipeline.New(ctl)
+				b.StartTimer()
+				res := workload.RunConcurrentChunked(pl, ct, 64)
+				if res.Errors > 0 {
+					b.Fatalf("errors: %d", res.Errors)
+				}
+				b.ReportMetric(float64(res.Submitted), "req/iter")
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitPipelinePerRequest is the worst case for the pipeline:
+// every client blocks on every single request (no chunking), so each
+// request pays a full synchronization handoff. Kept as a reference point
+// for the combining overhead.
+func BenchmarkSubmitPipelinePerRequest(b *testing.B) {
+	for _, clients := range []int{8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tr, ct, m, w := benchWorkload(b, clients, 2048)
+				ctl := dist.NewDynamic(tr, sim.NewDeterministic(3), m, w, false, nil)
+				pl := pipeline.New(ctl)
+				b.StartTimer()
+				res := workload.RunConcurrent(pl, ct)
+				if res.Errors > 0 {
+					b.Fatalf("errors: %d", res.Errors)
+				}
+				b.ReportMetric(float64(res.Submitted), "req/iter")
+			}
+		})
+	}
+}

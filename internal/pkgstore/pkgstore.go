@@ -300,6 +300,31 @@ func (s *Store) MobileAtFillerDistance(p Params, d int64) *Package {
 	return best
 }
 
+// TakeStaticPermit grants one permit from node-local state: it takes a
+// permit from the first non-empty static package, removing the package when
+// it drains. It reports ok = false, leaving the store untouched, when no
+// static permit is available. This is the atomic core of the controllers'
+// batched fast path: it either completes the whole local grant or changes
+// nothing.
+func (s *Store) TakeStaticPermit() (serial int64, ok bool) {
+	static := s.Static()
+	if static == nil {
+		return 0, false
+	}
+	serial, empty, err := static.TakePermit()
+	if err != nil {
+		// Unreachable: Static() only returns non-empty static packages,
+		// and TakePermit mutates nothing on error.
+		return 0, false
+	}
+	if empty {
+		// Cannot fail (the package came from this store); even if it did,
+		// Static() skips empty packages, so the grant stays correct.
+		_ = s.RemoveStatic(static)
+	}
+	return serial, true
+}
+
 // RemoveMobile removes pk from the store.
 func (s *Store) RemoveMobile(pk *Package) error {
 	for i, cur := range s.mobiles {

@@ -58,20 +58,21 @@ type Runtime interface {
 // Deterministic delivers messages one at a time in an order chosen by a
 // seeded RNG. It is single-threaded: Send and Drain must be called from one
 // goroutine (handlers run inside Drain).
+//
+// The hot path is allocation- and hash-free: the queue reuses its backing
+// array across drains and the per-destination in-flight tally (a rare
+// query) is computed on demand by scanning the queue instead of being
+// maintained per message.
 type Deterministic struct {
 	rng       *rand.Rand
 	handler   Handler
 	queue     []Message
-	inTo      map[tree.NodeID]int
 	delivered int64
 }
 
 // NewDeterministic returns a deterministic runtime with the given seed.
 func NewDeterministic(seed int64) *Deterministic {
-	return &Deterministic{
-		rng:  rand.New(rand.NewSource(seed)),
-		inTo: make(map[tree.NodeID]int),
-	}
+	return &Deterministic{rng: rand.New(rand.NewSource(seed))}
 }
 
 var _ Runtime = (*Deterministic)(nil)
@@ -82,22 +83,23 @@ func (d *Deterministic) SetHandler(h Handler) { d.handler = h }
 // Send implements Runtime.
 func (d *Deterministic) Send(from, to tree.NodeID, payload any) {
 	d.queue = append(d.queue, Message{From: from, To: to, Payload: payload})
-	d.inTo[to]++
 }
 
 // Drain implements Runtime: it delivers queued messages in seeded-random
-// order until the queue is empty.
+// order until the queue is empty. With a single message in flight — the
+// common case, since the protocol runs one agent at a time — delivery
+// skips the RNG entirely.
 func (d *Deterministic) Drain() {
 	for len(d.queue) > 0 {
-		i := d.rng.Intn(len(d.queue))
+		i := 0
+		if len(d.queue) > 1 {
+			i = d.rng.Intn(len(d.queue))
+		}
 		m := d.queue[i]
 		last := len(d.queue) - 1
 		d.queue[i] = d.queue[last]
+		d.queue[last] = Message{} // drop payload reference for the GC
 		d.queue = d.queue[:last]
-		d.inTo[m.To]--
-		if d.inTo[m.To] == 0 {
-			delete(d.inTo, m.To)
-		}
 		d.delivered++
 		d.handler(m)
 	}
@@ -107,7 +109,15 @@ func (d *Deterministic) Drain() {
 func (d *Deterministic) Messages() int64 { return d.delivered }
 
 // InFlightTo implements Runtime.
-func (d *Deterministic) InFlightTo(id tree.NodeID) int { return d.inTo[id] }
+func (d *Deterministic) InFlightTo(id tree.NodeID) int {
+	n := 0
+	for i := range d.queue {
+		if d.queue[i].To == id {
+			n++
+		}
+	}
+	return n
+}
 
 // Concurrent delivers messages from a pool of worker goroutines. Handler
 // executions are serialized by a dedicated mutex (the semantics require
@@ -117,7 +127,6 @@ type Concurrent struct {
 	qmu     sync.Mutex
 	cond    *sync.Cond
 	queue   []Message
-	inTo    map[tree.NodeID]int
 	pending int // queued + currently-being-handled messages
 
 	hmu     sync.Mutex // serializes handler executions
@@ -133,10 +142,7 @@ func NewConcurrent(workers int) *Concurrent {
 	if workers < 1 {
 		workers = 1
 	}
-	c := &Concurrent{
-		inTo:    make(map[tree.NodeID]int),
-		workers: workers,
-	}
+	c := &Concurrent{workers: workers}
 	c.cond = sync.NewCond(&c.qmu)
 	return c
 }
@@ -151,7 +157,6 @@ func (c *Concurrent) SetHandler(h Handler) { c.handler = h }
 func (c *Concurrent) Send(from, to tree.NodeID, payload any) {
 	c.qmu.Lock()
 	c.queue = append(c.queue, Message{From: from, To: to, Payload: payload})
-	c.inTo[to]++
 	c.pending++
 	c.qmu.Unlock()
 	c.cond.Broadcast()
@@ -187,11 +192,8 @@ func (c *Concurrent) step() bool {
 	}
 	last := len(c.queue) - 1
 	m := c.queue[last]
+	c.queue[last] = Message{} // drop payload reference for the GC
 	c.queue = c.queue[:last]
-	c.inTo[m.To]--
-	if c.inTo[m.To] == 0 {
-		delete(c.inTo, m.To)
-	}
 	c.qmu.Unlock()
 
 	c.hmu.Lock()
@@ -212,9 +214,17 @@ func (c *Concurrent) step() bool {
 // Messages implements Runtime.
 func (c *Concurrent) Messages() int64 { return c.delivered.Load() }
 
-// InFlightTo implements Runtime.
+// InFlightTo implements Runtime. Like the deterministic runtime it scans
+// the queue on demand: the query is rare (the graceful-deletion handshake)
+// while Send/deliver are the hot path.
 func (c *Concurrent) InFlightTo(id tree.NodeID) int {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
-	return c.inTo[id]
+	n := 0
+	for i := range c.queue {
+		if c.queue[i].To == id {
+			n++
+		}
+	}
+	return n
 }

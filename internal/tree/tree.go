@@ -508,17 +508,29 @@ func (t *Tree) Ancestor(u NodeID, dist int) (NodeID, error) {
 // PathToRoot returns the node ids from u (inclusive) up to the root
 // (inclusive).
 func (t *Tree) PathToRoot(u NodeID) ([]NodeID, error) {
+	return t.AppendPathToRoot(u, nil)
+}
+
+// AppendPathToRoot appends the node ids from u (inclusive) up to the root
+// (inclusive) to buf and returns the extended slice. Passing a buffer with
+// spare capacity lets hot paths (the controller's filler search) walk the
+// tree without allocating.
+func (t *Tree) AppendPathToRoot(u NodeID, buf []NodeID) ([]NodeID, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	n, ok := t.nodes[u]
 	if !ok {
 		return nil, fmt.Errorf("path to root from %d: %w", u, ErrNoSuchNode)
 	}
-	path := make([]NodeID, 0, n.depth+1)
+	if need := len(buf) + n.depth + 1; cap(buf) < need {
+		grown := make([]NodeID, len(buf), need)
+		copy(grown, buf)
+		buf = grown
+	}
 	for {
-		path = append(path, n.id)
+		buf = append(buf, n.id)
 		if n.parent == InvalidNode {
-			return path, nil
+			return buf, nil
 		}
 		n = t.nodes[n.parent]
 	}
@@ -527,22 +539,33 @@ func (t *Tree) PathToRoot(u NodeID) ([]NodeID, error) {
 // PathBetween returns the node ids from u (inclusive) up to its ancestor w
 // (inclusive).
 func (t *Tree) PathBetween(u, w NodeID) ([]NodeID, error) {
+	return t.AppendPathBetween(u, w, nil)
+}
+
+// AppendPathBetween appends the node ids from u (inclusive) up to its
+// ancestor w (inclusive) to buf and returns the extended slice, reusing
+// buf's capacity when it suffices.
+func (t *Tree) AppendPathBetween(u, w NodeID, buf []NodeID) ([]NodeID, error) {
 	d, err := t.Distance(u, w)
 	if err != nil {
 		return nil, err
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	path := make([]NodeID, 0, d+1)
+	if need := len(buf) + d + 1; cap(buf) < need {
+		grown := make([]NodeID, len(buf), need)
+		copy(grown, buf)
+		buf = grown
+	}
 	n := t.nodes[u]
 	for i := 0; i <= d; i++ {
-		path = append(path, n.id)
+		buf = append(buf, n.id)
 		if n.parent == InvalidNode {
 			break
 		}
 		n = t.nodes[n.parent]
 	}
-	return path, nil
+	return buf, nil
 }
 
 // Nodes returns the ids of all live nodes in unspecified order.
