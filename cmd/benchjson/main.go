@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dynctrl/internal/dist"
@@ -37,8 +38,15 @@ import (
 
 // Pinned workload parameters. Changing any of these invalidates committed
 // baselines; bump Schema and refresh BENCH_baseline.json when you do.
+// Schema 2 added the scenario/scheduler labels on every measurement so
+// regression comparisons stay apples-to-apples across adversarial
+// schedules.
 const (
-	schemaVersion = 1
+	schemaVersion = 2
+
+	serialScenario   = "E13-metered-events-serial"
+	pipelineScenario = "E13-metered-events-pipeline"
+	churnScenario    = "E3-fully-dynamic-churn"
 
 	treeNodes = 256
 	clients   = 8
@@ -51,8 +59,13 @@ const (
 	churnSeed  = 9
 )
 
-// Measurement is one measured submission path.
+// Measurement is one measured submission path. Scenario and Scheduler name
+// the pinned workload and the transport schedule it ran under, so a
+// baseline comparison can refuse to compare measurements of different
+// runs.
 type Measurement struct {
+	Scenario    string  `json:"scenario"`
+	Scheduler   string  `json:"scheduler"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -84,7 +97,11 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on regression")
 	maxRegress := flag.Float64("max-regress", 2.0, "maximum tolerated ops/sec regression factor vs the baseline")
 	runs := flag.Int("runs", 5, "measurement repetitions (best run is reported)")
+	sched := flag.String("sched", "random", "transport scheduler for the pinned runs (one of "+strings.Join(sim.SchedulerNames(), ", ")+")")
 	flag.Parse()
+	if _, err := sim.NewScheduler(*sched, ctlSeed); err != nil {
+		fatalf("%v", err)
+	}
 
 	rep := Report{
 		Label:     *label,
@@ -93,13 +110,15 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Workload: map[string]any{
-			"experiment": "E13-metered-pipeline",
-			"tree":       fmt.Sprintf("balanced-%d", treeNodes),
-			"clients":    clients,
-			"per_client": perClient,
-			"chunk":      chunk,
-			"mix":        "event-only",
-			"seed":       traceSeed,
+			"experiment":     "E13-metered-pipeline",
+			"tree":           fmt.Sprintf("balanced-%d", treeNodes),
+			"clients":        clients,
+			"per_client":     perClient,
+			"chunk":          chunk,
+			"mix":            "event-only",
+			"seed":           traceSeed,
+			"scheduler":      *sched,
+			"churn_scenario": churnScenario,
 		},
 		Results: map[string]Measurement{},
 	}
@@ -110,9 +129,9 @@ func main() {
 	rep.Workload["m"] = m
 	rep.Workload["w"] = w
 
-	rep.Results["serial"] = measure(*runs, total, func() (func(), func() int64) {
+	serialM := measure(*runs, total, func() (func(), func() int64) {
 		tr := buildBenchTree()
-		ctl := dist.NewDynamic(tr, sim.NewDeterministic(ctlSeed), m, w, false, nil)
+		ctl := dist.NewDynamic(tr, benchRuntime(*sched), m, w, false, nil)
 		ct := buildBenchTrace(tr)
 		reqs := ct.Serial()
 		rt := ctlRuntime(ctl)
@@ -124,10 +143,12 @@ func main() {
 			}
 		}, rt
 	})
+	serialM.Scenario, serialM.Scheduler = serialScenario, *sched
+	rep.Results["serial"] = serialM
 
-	rep.Results["pipeline"] = measure(*runs, total, func() (func(), func() int64) {
+	pipeM := measure(*runs, total, func() (func(), func() int64) {
 		tr := buildBenchTree()
-		ctl := dist.NewDynamic(tr, sim.NewDeterministic(ctlSeed), m, w, false, nil)
+		ctl := dist.NewDynamic(tr, benchRuntime(*sched), m, w, false, nil)
 		pl := pipeline.New(ctl)
 		ct := buildBenchTrace(tr)
 		rt := ctlRuntime(ctl)
@@ -138,9 +159,11 @@ func main() {
 			}
 		}, rt
 	})
+	pipeM.Scenario, pipeM.Scheduler = pipelineScenario, *sched
+	rep.Results["pipeline"] = pipeM
 
 	rep.PipelineSpeedup = rep.Results["pipeline"].OpsPerSec / rep.Results["serial"].OpsPerSec
-	rep.MessagesPerChange = measureChurnMessages()
+	rep.MessagesPerChange = measureChurnMessages(*sched)
 
 	path := *out
 	if path == "" {
@@ -163,6 +186,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: within %.1fx of %s\n", *maxRegress, *compare)
 	}
+}
+
+// benchRuntime builds the pinned transport; the scheduler name was
+// validated at flag-parse time.
+func benchRuntime(sched string) sim.Runtime {
+	rt, err := sim.NewRuntime(sched, ctlSeed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return rt
 }
 
 func buildBenchTree() *tree.Tree {
@@ -221,13 +254,16 @@ func measure(runs, requests int, setup func() (func(), func() int64)) Measuremen
 // measureChurnMessages replays the pinned fully-dynamic churn (E3's mix)
 // through a fresh distributed controller and returns the amortized message
 // complexity per topological change.
-func measureChurnMessages() float64 {
+func measureChurnMessages(sched string) float64 {
 	tr, _ := tree.New()
 	if err := workload.BuildBalanced(tr, churnNodes, 1); err != nil {
 		fatalf("churn tree: %v", err)
 	}
 	counters := stats.NewCounters()
-	rt := sim.NewDeterministic(churnSeed)
+	rt, err := sim.NewRuntime(sched, churnSeed)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	m := int64(16 * churnNodes)
 	ctl := dist.NewDynamic(tr, rt, m, 0, false, counters)
 	gen := workload.NewChurn(tr, workload.Mix{AddLeaf: 30, RemoveLeaf: 25, AddInternal: 20, RemoveInternal: 25}, churnSeed)
@@ -266,6 +302,11 @@ func compareBaseline(path string, cur Report, maxRegress float64) error {
 		c, ok := cur.Results[name]
 		if !ok {
 			return fmt.Errorf("baseline result %q missing from current run", name)
+		}
+		if b.Scenario != c.Scenario || b.Scheduler != c.Scheduler {
+			return fmt.Errorf("%s: baseline measured %s under %s, current run %s under %s:"+
+				" not comparable (rerun with the matching -sched or refresh the baseline)",
+				name, b.Scenario, b.Scheduler, c.Scenario, c.Scheduler)
 		}
 		if b.OpsPerSec <= 0 {
 			continue

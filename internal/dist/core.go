@@ -114,6 +114,17 @@ func (c *Core) Storage() int64 { return c.storage }
 // Counters returns the cost counters.
 func (c *Core) Counters() *stats.Counters { return c.counters }
 
+// NodePermits returns the number of permits (static and mobile) currently
+// stored at the given node's whiteboard (parity with the centralized
+// core's accessor; the scenario tests use it to find drop-point packages).
+func (c *Core) NodePermits(id tree.NodeID) int64 {
+	s, ok := c.stores[id]
+	if !ok {
+		return 0
+	}
+	return s.PermitCount()
+}
+
 // UnusedPermits returns the permits not yet granted: root storage plus all
 // permits sitting in packages. The iteration drivers use this as L.
 func (c *Core) UnusedPermits() int64 {

@@ -74,8 +74,9 @@ type Stats struct {
 // invoked from one goroutine at a time (the current batch leader), so any
 // serial-only controller core is a valid backend.
 type Pipeline struct {
-	sub      controller.BatchSubmitter
-	maxBatch int
+	sub       controller.BatchSubmitter
+	maxBatch  int
+	batchHook func(requests int)
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled when a leader retires (for Flush)
@@ -101,6 +102,16 @@ func WithMaxBatch(n int) Option {
 		}
 		p.maxBatch = n
 	}
+}
+
+// WithBatchHook installs fn to be called by the batch leader after each
+// leadership cycle completes, with the number of requests the cycle drove
+// through the core. Calls are serialized (only one leader runs at a time)
+// and happen before the leader re-checks the queue, so tests can use the
+// hook as a deterministic batch-boundary rendezvous instead of waiting on
+// timing, and services can export batch-size metrics from it.
+func WithBatchHook(fn func(requests int)) Option {
+	return func(p *Pipeline) { p.batchHook = fn }
 }
 
 // New builds a pipeline over the given batch-capable controller.
@@ -200,6 +211,9 @@ func (p *Pipeline) lead() {
 		for _, c := range p.batch {
 			c.results = p.sub.SubmitBatch(c.reqs, c.results)
 			c.done <- struct{}{}
+		}
+		if p.batchHook != nil {
+			p.batchHook(reqs)
 		}
 
 		p.mu.Lock()

@@ -2,11 +2,15 @@
 // distributed controller (Section 4 of the paper).
 //
 // The paper assumes a standard point-to-point asynchronous network: every
-// message incurs an arbitrary but finite delay. Two runtimes realize this:
+// message incurs an arbitrary but finite delay. Two runtime families
+// realize this:
 //
-//   - Deterministic: a seeded scheduler that repeatedly picks a random
-//     in-flight message and delivers it. Runs are reproducible for a given
-//     seed while still exploring adversarial interleavings.
+//   - Scheduled: a single-threaded runtime whose delivery order is decided
+//     by a pluggable, seeded Scheduler (see sched.go for the catalog:
+//     FIFO, LIFO, random interleaving, per-link delay, bounded bursts).
+//     Runs are reproducible from the (scheduler, seed) pair while still
+//     exploring adversarial interleavings. Deterministic is the Scheduled
+//     runtime with the Random scheduler, the repo-wide default.
 //   - Concurrent: worker goroutines deliver messages in parallel; the
 //     Go scheduler provides the nondeterminism. Used to validate that the
 //     algorithm's correctness does not depend on the delivery schedule.
@@ -17,7 +21,6 @@
 package sim
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -53,70 +56,6 @@ type Runtime interface {
 	// InFlightTo reports how many undelivered messages target id (the
 	// graceful-deletion handshake uses this to know an edge is quiet).
 	InFlightTo(id tree.NodeID) int
-}
-
-// Deterministic delivers messages one at a time in an order chosen by a
-// seeded RNG. It is single-threaded: Send and Drain must be called from one
-// goroutine (handlers run inside Drain).
-//
-// The hot path is allocation- and hash-free: the queue reuses its backing
-// array across drains and the per-destination in-flight tally (a rare
-// query) is computed on demand by scanning the queue instead of being
-// maintained per message.
-type Deterministic struct {
-	rng       *rand.Rand
-	handler   Handler
-	queue     []Message
-	delivered int64
-}
-
-// NewDeterministic returns a deterministic runtime with the given seed.
-func NewDeterministic(seed int64) *Deterministic {
-	return &Deterministic{rng: rand.New(rand.NewSource(seed))}
-}
-
-var _ Runtime = (*Deterministic)(nil)
-
-// SetHandler implements Runtime.
-func (d *Deterministic) SetHandler(h Handler) { d.handler = h }
-
-// Send implements Runtime.
-func (d *Deterministic) Send(from, to tree.NodeID, payload any) {
-	d.queue = append(d.queue, Message{From: from, To: to, Payload: payload})
-}
-
-// Drain implements Runtime: it delivers queued messages in seeded-random
-// order until the queue is empty. With a single message in flight — the
-// common case, since the protocol runs one agent at a time — delivery
-// skips the RNG entirely.
-func (d *Deterministic) Drain() {
-	for len(d.queue) > 0 {
-		i := 0
-		if len(d.queue) > 1 {
-			i = d.rng.Intn(len(d.queue))
-		}
-		m := d.queue[i]
-		last := len(d.queue) - 1
-		d.queue[i] = d.queue[last]
-		d.queue[last] = Message{} // drop payload reference for the GC
-		d.queue = d.queue[:last]
-		d.delivered++
-		d.handler(m)
-	}
-}
-
-// Messages implements Runtime.
-func (d *Deterministic) Messages() int64 { return d.delivered }
-
-// InFlightTo implements Runtime.
-func (d *Deterministic) InFlightTo(id tree.NodeID) int {
-	n := 0
-	for i := range d.queue {
-		if d.queue[i].To == id {
-			n++
-		}
-	}
-	return n
 }
 
 // Concurrent delivers messages from a pool of worker goroutines. Handler

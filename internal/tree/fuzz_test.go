@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTreeOps drives a random topological-change history (the four change
+// kinds of Section 2.1) from the fuzzer's byte stream and then checks the
+// structural invariants and the path/labeling round-trips:
+//
+//   - Validate: parent/child symmetry, depth cache, port uniqueness,
+//     reachability.
+//   - PathToRoot/Ancestor/Distance agree with each other and with Depth.
+//   - The DFS interval labeling (the Kannan–Naor–Rudich ancestry encoding
+//     the labeling application builds on) answers ancestry exactly like
+//     the pointer walk IsAncestor.
+//
+// Two bytes encode one operation: an opcode and a node selector.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte("0000000000000000"))         // grow-only burst
+	f.Add([]byte("0a1b2c3d4e5f6071"))         // mixed add/remove/split
+	f.Add([]byte("09192939495969798999a9b9")) // remove-heavy after growth
+	f.Add([]byte{0, 0, 0, 1, 2, 0, 1, 0, 3, 1, 2, 2, 0, 3, 1, 1, 2, 5, 3, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, root := New()
+		sorted := func(ids []NodeID) []NodeID {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		for i := 0; i+1 < len(data) && tr.Size() < 128; i += 2 {
+			op, sel := data[i]%4, int(data[i+1])
+			switch op {
+			case 0: // add leaf
+				nodes := sorted(tr.Nodes())
+				parent := nodes[sel%len(nodes)]
+				if _, err := tr.ApplyAddLeaf(parent); err != nil {
+					t.Fatalf("add leaf under %d: %v", parent, err)
+				}
+			case 1: // remove a non-root leaf
+				var leaves []NodeID
+				for _, id := range sorted(tr.Leaves()) {
+					if id != root {
+						leaves = append(leaves, id)
+					}
+				}
+				if len(leaves) == 0 {
+					continue
+				}
+				id := leaves[sel%len(leaves)]
+				if err := tr.ApplyRemoveLeaf(id); err != nil {
+					t.Fatalf("remove leaf %d: %v", id, err)
+				}
+			case 2: // split a parent edge (add internal)
+				var cands []NodeID
+				for _, id := range sorted(tr.Nodes()) {
+					if id != root {
+						cands = append(cands, id)
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				child := cands[sel%len(cands)]
+				if _, err := tr.ApplyAddInternal(child); err != nil {
+					t.Fatalf("add internal above %d: %v", child, err)
+				}
+			case 3: // remove a non-root internal node
+				var cands []NodeID
+				for _, id := range sorted(tr.Nodes()) {
+					if id != root && !tr.IsLeaf(id) {
+						cands = append(cands, id)
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				id := cands[sel%len(cands)]
+				if err := tr.ApplyRemoveInternal(id); err != nil {
+					t.Fatalf("remove internal %d: %v", id, err)
+				}
+			}
+		}
+
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("validate after history: %v", err)
+		}
+
+		nodes := sorted(tr.Nodes())
+		iv := tr.Intervals()
+		if len(iv) != len(nodes) {
+			t.Fatalf("labeling covers %d nodes, tree has %d", len(iv), len(nodes))
+		}
+
+		// Path round-trips along every root path.
+		for _, u := range nodes {
+			d, err := tr.Depth(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := tr.PathToRoot(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) != d+1 || path[0] != u || path[len(path)-1] != root {
+				t.Fatalf("path to root from %d (depth %d) is %v", u, d, path)
+			}
+			for dist, w := range path {
+				a, err := tr.Ancestor(u, dist)
+				if err != nil || a != w {
+					t.Fatalf("Ancestor(%d, %d) = %d, %v; path says %d", u, dist, a, err, w)
+				}
+				dd, err := tr.Distance(u, w)
+				if err != nil || dd != dist {
+					t.Fatalf("Distance(%d, %d) = %d, %v; path says %d", u, w, dd, err, dist)
+				}
+			}
+		}
+
+		// The interval labels must answer ancestry exactly like the
+		// pointer walk, for every ordered pair.
+		for _, u := range nodes {
+			for _, v := range nodes {
+				want, err := tr.IsAncestor(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := iv[u][0] <= iv[v][0] && iv[v][1] <= iv[u][1]
+				if got != want {
+					t.Fatalf("labeling: interval(%d)=%v contains interval(%d)=%v is %v, IsAncestor says %v",
+						u, iv[u], v, iv[v], got, want)
+				}
+			}
+		}
+	})
+}
