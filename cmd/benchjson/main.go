@@ -1,8 +1,9 @@
 // Command benchjson runs the pinned E-series benchmark workload and emits a
-// machine-readable BENCH_<label>.json. CI's perf-smoke job runs it on every
-// push, uploads the JSON as an artifact, and compares the measured
-// throughput against the committed BENCH_baseline.json, failing on a >2x
-// regression (see -compare / -max-regress).
+// machine-readable BENCH_<label>.json (schema: internal/benchfmt). CI's
+// perf-smoke job runs it on every push, uploads the JSON as an artifact,
+// and compares the measured throughput against the committed
+// BENCH_baseline.json, failing on a >2x regression (see -compare /
+// -max-regress).
 //
 // Usage:
 //
@@ -12,15 +13,17 @@
 // The pinned workload is the metered-traffic experiment (E13's event-only
 // mix) over a balanced 256-node tree: 8 concurrent clients submit 2048
 // events each (seed 42) against the distributed unknown-U controller with
-// M = 4× the trace size and W = M/2. Two paths are measured on identical
-// traces: the serial Submit loop and the batched submission pipeline
-// (chunks of 128 requests per client). A separate pinned churn run (E3's
+// M = 4× the trace size and W = M/2. Three paths are measured on identical
+// traces: the serial Submit loop (inproc), the batched submission pipeline
+// in chunks of 128 requests per client (inproc), and the same chunked
+// concurrent run driven through cmd/dynctrld's server stack over loopback
+// TCP via the pooled wire client (tcp). A separate pinned churn run (E3's
 // fully-dynamic mix) reports the amortized message complexity per
 // topological change.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +31,11 @@ import (
 	"strings"
 	"time"
 
+	"dynctrl/internal/benchfmt"
+	"dynctrl/internal/client"
 	"dynctrl/internal/dist"
 	"dynctrl/internal/pipeline"
+	"dynctrl/internal/server"
 	"dynctrl/internal/sim"
 	"dynctrl/internal/stats"
 	"dynctrl/internal/tree"
@@ -37,15 +43,12 @@ import (
 )
 
 // Pinned workload parameters. Changing any of these invalidates committed
-// baselines; bump Schema and refresh BENCH_baseline.json when you do.
-// Schema 2 added the scenario/scheduler labels on every measurement so
-// regression comparisons stay apples-to-apples across adversarial
-// schedules.
+// baselines; bump benchfmt.SchemaVersion and refresh BENCH_baseline.json
+// when you do.
 const (
-	schemaVersion = 2
-
 	serialScenario   = "E13-metered-events-serial"
 	pipelineScenario = "E13-metered-events-pipeline"
+	tcpScenario      = "E13-metered-events-wire"
 	churnScenario    = "E3-fully-dynamic-churn"
 
 	treeNodes = 256
@@ -59,38 +62,6 @@ const (
 	churnSeed  = 9
 )
 
-// Measurement is one measured submission path. Scenario and Scheduler name
-// the pinned workload and the transport schedule it ran under, so a
-// baseline comparison can refuse to compare measurements of different
-// runs.
-type Measurement struct {
-	Scenario    string  `json:"scenario"`
-	Scheduler   string  `json:"scheduler"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	MsgsPerOp   float64 `json:"messages_per_op"`
-}
-
-// Report is the BENCH_<label>.json document.
-type Report struct {
-	Label     string                 `json:"label"`
-	Schema    int                    `json:"schema"`
-	GoVersion string                 `json:"go_version"`
-	GOOS      string                 `json:"goos"`
-	GOARCH    string                 `json:"goarch"`
-	Workload  map[string]any         `json:"workload"`
-	Results   map[string]Measurement `json:"results"`
-	// PipelineSpeedup is results["pipeline"] over results["serial"]
-	// throughput on the identical trace.
-	PipelineSpeedup float64 `json:"pipeline_speedup"`
-	// MessagesPerChange is the amortized message complexity per
-	// topological change on the pinned churn run (the paper's headline
-	// cost measure).
-	MessagesPerChange float64 `json:"messages_per_change"`
-}
-
 func main() {
 	label := flag.String("label", "local", "label naming this run (BENCH_<label>.json)")
 	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
@@ -103,9 +74,9 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	rep := Report{
+	rep := benchfmt.Report{
 		Label:     *label,
-		Schema:    schemaVersion,
+		Schema:    benchfmt.SchemaVersion,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -120,7 +91,7 @@ func main() {
 			"scheduler":      *sched,
 			"churn_scenario": churnScenario,
 		},
-		Results: map[string]Measurement{},
+		Results: map[string]benchfmt.Measurement{},
 	}
 
 	total := clients * perClient
@@ -129,7 +100,7 @@ func main() {
 	rep.Workload["m"] = m
 	rep.Workload["w"] = w
 
-	serialM := measure(*runs, total, func() (func(), func() int64) {
+	serialM := measure(*runs, total, func() (func(), func() int64, func()) {
 		tr := buildBenchTree()
 		ctl := dist.NewDynamic(tr, benchRuntime(*sched), m, w, false, nil)
 		ct := buildBenchTrace(tr)
@@ -141,12 +112,12 @@ func main() {
 					fatalf("serial submit: %v", err)
 				}
 			}
-		}, rt
+		}, rt, nil
 	})
-	serialM.Scenario, serialM.Scheduler = serialScenario, *sched
+	serialM.Scenario, serialM.Scheduler, serialM.Transport = serialScenario, *sched, benchfmt.TransportInproc
 	rep.Results["serial"] = serialM
 
-	pipeM := measure(*runs, total, func() (func(), func() int64) {
+	pipeM := measure(*runs, total, func() (func(), func() int64, func()) {
 		tr := buildBenchTree()
 		ctl := dist.NewDynamic(tr, benchRuntime(*sched), m, w, false, nil)
 		pl := pipeline.New(ctl)
@@ -157,10 +128,49 @@ func main() {
 			if res.Errors > 0 {
 				fatalf("pipeline run: %d request errors", res.Errors)
 			}
-		}, rt
+		}, rt, nil
 	})
-	pipeM.Scenario, pipeM.Scheduler = pipelineScenario, *sched
+	pipeM.Scenario, pipeM.Scheduler, pipeM.Transport = pipelineScenario, *sched, benchfmt.TransportInproc
 	rep.Results["pipeline"] = pipeM
+
+	tcpM := measure(*runs, total, func() (func(), func() int64, func()) {
+		srv, err := server.New(server.Config{
+			Addr:      "127.0.0.1:0",
+			Topology:  workload.TopologySpec{Kind: "balanced", Nodes: treeNodes},
+			Seed:      1,
+			Scheduler: *sched,
+			M:         m,
+			W:         w,
+		})
+		if err != nil {
+			fatalf("tcp server: %v", err)
+		}
+		if err := srv.Start(); err != nil {
+			fatalf("tcp server start: %v", err)
+		}
+		cl, err := client.Dial(srv.Addr(), client.Options{Conns: clients})
+		if err != nil {
+			fatalf("tcp dial: %v", err)
+		}
+		// The identical pinned trace, regenerated over the server's tree
+		// shape (same constructor, same seed).
+		tr := buildBenchTree()
+		ct := buildBenchTrace(tr)
+		cleanup := func() {
+			cl.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck
+		}
+		return func() {
+			res := workload.RunConcurrentChunked(cl, ct, chunk)
+			if res.Errors > 0 {
+				fatalf("tcp run: %d request errors", res.Errors)
+			}
+		}, srv.TransportMessages, cleanup
+	})
+	tcpM.Scenario, tcpM.Scheduler, tcpM.Transport = tcpScenario, *sched, benchfmt.TransportTCP
+	rep.Results["tcp"] = tcpM
 
 	rep.PipelineSpeedup = rep.Results["pipeline"].OpsPerSec / rep.Results["serial"].OpsPerSec
 	rep.MessagesPerChange = measureChurnMessages(*sched)
@@ -169,18 +179,18 @@ func main() {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", *label)
 	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	buf, err := rep.WriteFile(path)
 	if err != nil {
-		fatalf("marshal: %v", err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		fatalf("write %s: %v", path, err)
+		fatalf("%v", err)
 	}
 	os.Stdout.Write(buf)
 
 	if *compare != "" {
-		if err := compareBaseline(*compare, rep, *maxRegress); err != nil {
+		base, err := benchfmt.ReadFile(*compare)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := benchfmt.CompareBaseline(base, rep, *maxRegress, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %v\n", err)
 			os.Exit(1)
 		}
@@ -221,29 +231,39 @@ func ctlRuntime(ctl *dist.Dynamic) func() int64 {
 
 // measure runs setup+run `runs` times and reports the best run (standard
 // benchmarking practice: the minimum is the least-noisy estimate) with
-// allocation and message counts from that run.
-func measure(runs, requests int, setup func() (func(), func() int64)) Measurement {
+// allocation and message counts from that run. setup may return a cleanup
+// (run after the measurement; e.g. a server teardown) and a nil message
+// sampler.
+func measure(runs, requests int, setup func() (func(), func() int64, func())) benchfmt.Measurement {
 	if runs < 1 {
 		runs = 1
 	}
-	best := Measurement{NsPerOp: float64(0)}
+	best := benchfmt.Measurement{NsPerOp: float64(0)}
 	for i := 0; i < runs; i++ {
-		run, msgs := setup()
+		run, msgs, cleanup := setup()
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
-		m0 := msgs()
+		var m0 int64
+		if msgs != nil {
+			m0 = msgs()
+		}
 		t0 := time.Now()
 		run()
 		dt := time.Since(t0)
 		runtime.ReadMemStats(&ms1)
-		cur := Measurement{
+		cur := benchfmt.Measurement{
 			NsPerOp:     float64(dt.Nanoseconds()) / float64(requests),
 			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(requests),
 			BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(requests),
-			MsgsPerOp:   float64(msgs()-m0) / float64(requests),
+		}
+		if msgs != nil {
+			cur.MsgsPerOp = float64(msgs()-m0) / float64(requests)
 		}
 		cur.OpsPerSec = 1e9 / cur.NsPerOp
+		if cleanup != nil {
+			cleanup()
+		}
 		if i == 0 || cur.NsPerOp < best.NsPerOp {
 			best = cur
 		}
@@ -282,46 +302,6 @@ func measureChurnMessages(sched string) float64 {
 		return 0
 	}
 	return float64(dist.TotalMessages(rt, counters)) / float64(changes)
-}
-
-// compareBaseline fails when any measured path's throughput fell by more
-// than maxRegress relative to the baseline report.
-func compareBaseline(path string, cur Report, maxRegress float64) error {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base Report
-	if err := json.Unmarshal(buf, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	if base.Schema != cur.Schema {
-		return fmt.Errorf("baseline schema %d, current %d: refresh the baseline", base.Schema, cur.Schema)
-	}
-	for name, b := range base.Results {
-		c, ok := cur.Results[name]
-		if !ok {
-			return fmt.Errorf("baseline result %q missing from current run", name)
-		}
-		if b.Scenario != c.Scenario || b.Scheduler != c.Scheduler {
-			return fmt.Errorf("%s: baseline measured %s under %s, current run %s under %s:"+
-				" not comparable (rerun with the matching -sched or refresh the baseline)",
-				name, b.Scenario, b.Scheduler, c.Scenario, c.Scheduler)
-		}
-		if b.OpsPerSec <= 0 {
-			continue
-		}
-		ratio := b.OpsPerSec / c.OpsPerSec
-		fmt.Fprintf(os.Stderr, "benchjson: %-8s baseline %.0f ops/s, current %.0f ops/s (%.2fx)\n",
-			name, b.OpsPerSec, c.OpsPerSec, ratio)
-		if ratio > maxRegress {
-			return fmt.Errorf("%s regressed %.2fx (> %.1fx allowed): %.0f -> %.0f ops/s"+
-				" (if this machine is legitimately slower than the baseline's,"+
-				" refresh BENCH_baseline.json; see README \"Benchmarking and CI gates\")",
-				name, ratio, maxRegress, b.OpsPerSec, c.OpsPerSec)
-		}
-	}
-	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,116 @@
+// Command dynctrld runs the network-facing admission-control daemon: a TCP
+// server exposing the (M,W)-Controller's Submit/grant/reject semantics over
+// the internal/wire protocol, backed by the batching pipeline, with an
+// optional paranoid mode that re-checks every served request against the
+// paper's invariants via internal/oracle.
+//
+// Usage:
+//
+//	dynctrld -addr :7700 -metrics :7701 -nodes 256 -m 1000000 -w 500000
+//	dynctrld -scenario exhaustion-reject-wave -paranoid
+//
+// With -scenario, the initial topology and the (M, W) contract are taken
+// from the internal/workload catalog entry, so a cmd/loadgen started with
+// the same -scenario and -seed reconstructs the identical tree (the wire
+// handshake verifies this via the topology signature).
+//
+// On SIGINT/SIGTERM the daemon drains gracefully — in-flight batches are
+// answered before the pipeline shuts down — then prints a final accounting
+// line. The exit status is nonzero if paranoid mode recorded any oracle
+// violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynctrl/internal/server"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7700", "wire-protocol listen address")
+	metrics := flag.String("metrics", ":7701", "plain-text /metricsz listen address (empty disables)")
+	scenario := flag.String("scenario", "", "take topology and (M, W) from this workload catalog scenario")
+	topology := flag.String("topology", "balanced", "initial tree shape: balanced, path, or star")
+	nodes := flag.Int("nodes", 256, "initial tree size")
+	seed := flag.Int64("seed", 1, "topology and transport seed")
+	sched := flag.String("sched", "random", "transport scheduler (one of "+strings.Join(sim.SchedulerNames(), ", ")+")")
+	m := flag.Int64("m", 1_000_000, "permit bound M of the admission contract")
+	w := flag.Int64("w", 500_000, "waste bound W of the admission contract")
+	paranoid := flag.Bool("paranoid", false, "re-check every served request with the internal/oracle invariant checkers")
+	maxBatch := flag.Int("max-batch", 0, "pipeline combining bound (0 = default)")
+	readBatch := flag.Int("read-batch", 0, "per-connection read-coalescing bound in requests (0 = default)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:        *addr,
+		MetricsAddr: *metrics,
+		Topology:    workload.TopologySpec{Kind: *topology, Nodes: *nodes},
+		Seed:        *seed,
+		Scheduler:   *sched,
+		M:           *m,
+		W:           *w,
+		Paranoid:    *paranoid,
+		MaxBatch:    *maxBatch,
+		ReadBatch:   *readBatch,
+	}
+	if *scenario != "" {
+		sc, err := workload.ScenarioByName(*scenario)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Topology = sc.Topology
+		cfg.M, cfg.W = sc.M, sc.W
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := s.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	logf("serving wire protocol v1 on %s (M=%d, W=%d, topology %s-%d, paranoid=%v)",
+		s.Addr(), cfg.M, cfg.W, cfg.Topology.Kind, cfg.Topology.Nodes, cfg.Paranoid)
+	if s.MetricsAddr() != "" {
+		logf("metrics on http://%s/metricsz", s.MetricsAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	logf("received %v, draining (timeout %v)", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		logf("drain incomplete: %v", err)
+	}
+	ops, grants, rejects, errs := s.Accounting()
+	logf("final accounting: ops=%d grants=%d rejects=%d errors=%d transport_messages=%d",
+		ops, grants, rejects, errs, s.TransportMessages())
+	if v := s.Violations(); len(v) != 0 {
+		for _, viol := range v {
+			logf("ORACLE VIOLATION: %v", viol)
+		}
+		os.Exit(1)
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dynctrld: "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	logf(format, args...)
+	os.Exit(1)
+}

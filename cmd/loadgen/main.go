@@ -1,0 +1,248 @@
+// Command loadgen replays internal/workload scenarios against a running
+// dynctrld daemon over the wire protocol and prints a cmd/benchjson-
+// compatible JSON summary (internal/benchfmt, transport "tcp").
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7700 -scenario churn-storm -conns 8
+//	loadgen -addr 127.0.0.1:7700 -duration 5s -min-requests 100000 \
+//	        -metrics 127.0.0.1:7701
+//
+// The generator reconstructs the daemon's initial topology from the same
+// (scenario | -topology/-nodes, -seed) parameters — the handshake's
+// topology signature verifies both sides built the identical tree — and
+// pre-generates an interleaving-safe concurrent trace that it drives
+// through a pooled, pipelined client in chunked SubmitMany runs.
+//
+// Exit status is nonzero when: any request errored; the grant total
+// exceeds the server's M; fewer than -min-requests completed; or, when
+// -metrics is given, the daemon's /metricsz accounting (ops, grants,
+// rejects, oracle violations) does not reconcile exactly with what this
+// client observed. The accounting check assumes loadgen is the daemon's
+// only traffic source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynctrl/internal/benchfmt"
+	"dynctrl/internal/client"
+	"dynctrl/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "daemon wire-protocol address")
+	metrics := flag.String("metrics", "", "daemon metrics address for the accounting cross-check (empty skips it)")
+	scenario := flag.String("scenario", "", "workload catalog scenario to replay (empty = plain event/add-leaf churn)")
+	topology := flag.String("topology", "balanced", "topology the daemon was started with (ignored with -scenario)")
+	nodes := flag.Int("nodes", 256, "initial tree size the daemon was started with (ignored with -scenario)")
+	mix := flag.String("mix", "event", "churn mix when no scenario is given: "+
+		"default, grow, shrink, event, or storm")
+	seed := flag.Int64("seed", 1, "seed the daemon was started with")
+	conns := flag.Int("conns", 8, "pooled connections")
+	chunk := flag.Int("chunk", 128, "requests per SubmitMany run")
+	requests := flag.Int("requests", 0, "total requests to send (0 = scenario default; ignored with -duration)")
+	duration := flag.Duration("duration", 0, "replay the trace in rounds until this wall-clock budget is spent")
+	minRequests := flag.Int64("min-requests", 0, "fail unless at least this many requests completed")
+	label := flag.String("label", "loadgen", "label naming this run")
+	out := flag.String("out", "", "also write the JSON summary to this path")
+	flag.Parse()
+
+	sc := workload.Scenario{
+		Name:     "wire-churn",
+		Topology: workload.TopologySpec{Kind: *topology, Nodes: *nodes},
+		Workload: workload.WorkloadSpec{Kind: "churn", Mix: *mix},
+		Requests: 1 << 14,
+	}
+	if *scenario != "" {
+		var err error
+		sc, err = workload.ScenarioByName(*scenario)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	tr, ct, err := workload.WireTrace(sc, *conns, *requests, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cl, err := client.Dial(*addr, client.Options{Conns: *conns})
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer cl.Close()
+	if got, want := cl.TopologySignature(), workload.TopologySignature(tr); got != want {
+		fatalf("topology signature mismatch: daemon %d, local %d"+
+			" (start loadgen with the daemon's -scenario/-topology/-nodes/-seed)", got, want)
+	}
+	logf("connected to %s: M=%d W=%d, %d conns, trace %d requests (%s)",
+		*addr, cl.M(), cl.W(), *conns, ct.Len(), sc.Name)
+
+	var total workload.ConcurrentResult
+	t0 := time.Now()
+	rounds := 0
+	for {
+		res := workload.RunConcurrentChunked(cl, ct, *chunk)
+		total.Granted += res.Granted
+		total.Rejected += res.Rejected
+		total.Errors += res.Errors
+		total.Submitted += res.Submitted
+		rounds++
+		if *duration <= 0 || time.Since(t0) >= *duration {
+			break
+		}
+	}
+	elapsed := time.Since(t0)
+
+	opsPerSec := float64(total.Submitted) / elapsed.Seconds()
+	rep := benchfmt.Report{
+		Label:     *label,
+		Schema:    benchfmt.SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload: map[string]any{
+			"scenario": sc.Name,
+			"conns":    *conns,
+			"chunk":    *chunk,
+			"seed":     *seed,
+			"rounds":   rounds,
+			"m":        cl.M(),
+			"w":        cl.W(),
+			"granted":  total.Granted,
+			"rejected": total.Rejected,
+			"errors":   total.Errors,
+			"elapsed":  elapsed.Seconds(),
+		},
+		Results: map[string]benchfmt.Measurement{
+			"loadgen": {
+				Scenario:  sc.Name,
+				Scheduler: "remote",
+				Transport: benchfmt.TransportTCP,
+				NsPerOp:   float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
+				OpsPerSec: opsPerSec,
+			},
+		},
+	}
+	buf, err := rep.Bytes()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	os.Stdout.Write(buf)
+	if *out != "" {
+		if _, err := rep.WriteFile(*out); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	logf("%d requests in %.2fs (%.0f req/s): granted=%d rejected=%d errors=%d rejectWave=%v",
+		total.Submitted, elapsed.Seconds(), opsPerSec, total.Granted, total.Rejected, total.Errors, cl.RejectWaveSeen())
+
+	failed := false
+	if total.Errors > 0 {
+		logf("FAIL: %d request errors", total.Errors)
+		failed = true
+	}
+	if total.Granted > cl.M() {
+		logf("FAIL: granted %d exceeds the server's M=%d", total.Granted, cl.M())
+		failed = true
+	}
+	if *minRequests > 0 && total.Submitted < *minRequests {
+		logf("FAIL: completed %d requests, need at least %d", total.Submitted, *minRequests)
+		failed = true
+	}
+	if *metrics != "" && total.Errors == 0 {
+		// With zero request errors every submitted request was answered on
+		// the wire, so the daemon's tallies must match ours exactly.
+		if err := reconcile(*metrics, total); err != nil {
+			logf("FAIL: accounting mismatch: %v", err)
+			failed = true
+		} else {
+			logf("accounting reconciled against %s", *metrics)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// reconcile fetches /metricsz and requires the daemon's wire-level
+// accounting to match this client's observations exactly.
+func reconcile(addr string, total workload.ConcurrentResult) error {
+	resp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fields, err := parseMetrics(string(body))
+	if err != nil {
+		return err
+	}
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"dynctrld_ops_total", total.Submitted},
+		{"dynctrld_grants_total", total.Granted},
+		{"dynctrld_rejects_total", total.Rejected},
+		{"dynctrld_errors_total", 0},
+		{"dynctrld_oracle_violations", 0},
+	}
+	for _, c := range checks {
+		got, ok := fields[c.name]
+		if !ok {
+			return fmt.Errorf("metricsz lacks %s", c.name)
+		}
+		if got != c.want {
+			return fmt.Errorf("%s = %d, client observed %d", c.name, got, c.want)
+		}
+	}
+	return nil
+}
+
+// parseMetrics reads the plain-text "name value" lines of /metricsz,
+// keeping the integer-valued fields.
+func parseMetrics(text string) (map[string]int64, error) {
+	fields := map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		name, value, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseInt(value, 10, 64); err == nil {
+			fields[name] = v
+		}
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("no parsable metrics lines")
+	}
+	return fields, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	logf(format, args...)
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@
 package dynctrl
 
 import (
+	"dynctrl/internal/client"
 	"dynctrl/internal/controller"
 	"dynctrl/internal/dist"
 	"dynctrl/internal/estimator"
@@ -154,6 +155,34 @@ type BatchSubmitter = controller.BatchSubmitter
 // the pipeline is in use (the pipeline serializes all access to it).
 func NewPipeline(ctl BatchSubmitter, opts ...PipelineOption) *Pipeline {
 	return pipeline.New(ctl, opts...)
+}
+
+// ErrPipelineClosed is the sentinel returned by Pipeline.Submit and
+// Pipeline.SubmitMany after Pipeline.Close.
+var ErrPipelineClosed = pipeline.ErrClosed
+
+// RemoteClient is a connection-pooled, pipelined client of a dynctrld
+// daemon (cmd/dynctrld). It exposes the same Submit/SubmitMany surface as
+// the in-process controllers, so drivers written against either run
+// unchanged over TCP.
+type RemoteClient = client.Client
+
+// RemoteOptions configures Dial (pool size, timeouts, reject-wave hook).
+type RemoteOptions = client.Options
+
+// Dial connects to a dynctrld daemon with a pool of conns connections and
+// performs the protocol handshake. The returned client reports the
+// server's (M, W) contract and is safe for concurrent use:
+//
+//	cl, err := dynctrl.Dial("127.0.0.1:7700", 8)
+//	grant, err := cl.Submit(dynctrl.Request{Node: id, Kind: dynctrl.None})
+func Dial(addr string, conns int) (*RemoteClient, error) {
+	return client.Dial(addr, client.Options{Conns: conns})
+}
+
+// DialOptions is Dial with full client options.
+func DialOptions(addr string, opts RemoteOptions) (*RemoteClient, error) {
+	return client.Dial(addr, opts)
 }
 
 // Estimator maintains a β-approximation of the network size at every node.

@@ -1,0 +1,128 @@
+// Package benchfmt is the shared schema of the repository's benchmark
+// artifacts: cmd/benchjson (the pinned in-process workload) and cmd/loadgen
+// (the wire-protocol load generator) both emit a Report, and CI's
+// perf-smoke job compares Reports against the committed BENCH_baseline.json
+// with CompareBaseline.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion identifies the Report layout. Bump it when changing the
+// pinned workloads or the measurement fields, and refresh
+// BENCH_baseline.json. Schema 2 added the scenario/scheduler labels;
+// schema 3 added the transport dimension (inproc vs tcp) when the service
+// boundary landed.
+const SchemaVersion = 3
+
+// Transports a measurement can run over.
+const (
+	// TransportInproc is a direct in-process submission path.
+	TransportInproc = "inproc"
+	// TransportTCP crosses the dynctrld wire protocol over loopback TCP.
+	TransportTCP = "tcp"
+)
+
+// Measurement is one measured submission path. Scenario, Scheduler and
+// Transport pin what ran where, so a baseline comparison can refuse to
+// compare measurements of different runs.
+type Measurement struct {
+	Scenario    string  `json:"scenario"`
+	Scheduler   string  `json:"scheduler"`
+	Transport   string  `json:"transport"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	MsgsPerOp   float64 `json:"messages_per_op"`
+}
+
+// Report is the BENCH_<label>.json document.
+type Report struct {
+	Label     string                 `json:"label"`
+	Schema    int                    `json:"schema"`
+	GoVersion string                 `json:"go_version"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	Workload  map[string]any         `json:"workload"`
+	Results   map[string]Measurement `json:"results"`
+	// PipelineSpeedup is results["pipeline"] over results["serial"]
+	// throughput on the identical trace (0 when either is absent).
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+	// MessagesPerChange is the amortized message complexity per
+	// topological change on the pinned churn run (the paper's headline
+	// cost measure; 0 when not measured).
+	MessagesPerChange float64 `json:"messages_per_change"`
+}
+
+// Bytes marshals the report as indented JSON with a trailing newline.
+func (r Report) Bytes() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("marshal report: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteFile marshals the report to path (and returns the bytes written).
+func (r Report) WriteFile(path string) ([]byte, error) {
+	buf, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("write %s: %w", path, err)
+	}
+	return buf, nil
+}
+
+// ReadFile loads a report from path.
+func ReadFile(path string) (Report, error) {
+	var r Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("read report: %w", err)
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareBaseline fails when any measured path's throughput fell by more
+// than maxRegress relative to the baseline report, or when the runs are not
+// comparable (schema, scenario, scheduler or transport mismatch). Progress
+// lines go to log (e.g. os.Stderr).
+func CompareBaseline(base, cur Report, maxRegress float64, log io.Writer) error {
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("baseline schema %d, current %d: refresh the baseline", base.Schema, cur.Schema)
+	}
+	for name, b := range base.Results {
+		c, ok := cur.Results[name]
+		if !ok {
+			return fmt.Errorf("baseline result %q missing from current run", name)
+		}
+		if b.Scenario != c.Scenario || b.Scheduler != c.Scheduler || b.Transport != c.Transport {
+			return fmt.Errorf("%s: baseline measured %s under %s over %s, current run %s under %s over %s:"+
+				" not comparable (rerun with matching flags or refresh the baseline)",
+				name, b.Scenario, b.Scheduler, b.Transport, c.Scenario, c.Scheduler, c.Transport)
+		}
+		if b.OpsPerSec <= 0 {
+			continue
+		}
+		ratio := b.OpsPerSec / c.OpsPerSec
+		fmt.Fprintf(log, "benchfmt: %-8s baseline %.0f ops/s, current %.0f ops/s (%.2fx)\n",
+			name, b.OpsPerSec, c.OpsPerSec, ratio)
+		if ratio > maxRegress {
+			return fmt.Errorf("%s regressed %.2fx (> %.1fx allowed): %.0f -> %.0f ops/s"+
+				" (if this machine is legitimately slower than the baseline's,"+
+				" refresh BENCH_baseline.json; see README \"Benchmarking and CI gates\")",
+				name, ratio, maxRegress, b.OpsPerSec, c.OpsPerSec)
+		}
+	}
+	return nil
+}

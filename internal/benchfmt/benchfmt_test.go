@@ -1,0 +1,99 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() Report {
+	return Report{
+		Label:  "test",
+		Schema: SchemaVersion,
+		Workload: map[string]any{
+			"clients": 8.0,
+		},
+		Results: map[string]Measurement{
+			"serial": {
+				Scenario: "s", Scheduler: "random", Transport: TransportInproc,
+				NsPerOp: 100, OpsPerSec: 1e7,
+			},
+			"tcp": {
+				Scenario: "w", Scheduler: "random", Transport: TransportTCP,
+				NsPerOp: 400, OpsPerSec: 2.5e6,
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := sample()
+	if _, err := in.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if out.Label != in.Label || out.Schema != in.Schema || len(out.Results) != len(in.Results) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if out.Results["tcp"].Transport != TransportTCP {
+		t.Fatalf("transport field lost: %+v", out.Results["tcp"])
+	}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base, cur := sample(), sample()
+	var log bytes.Buffer
+	if err := CompareBaseline(base, cur, 2.0, &log); err != nil {
+		t.Fatalf("identical reports: %v", err)
+	}
+	if !strings.Contains(log.String(), "serial") {
+		t.Errorf("comparison log lacks per-path lines:\n%s", log.String())
+	}
+}
+
+func TestCompareBaselineCatchesRegression(t *testing.T) {
+	base, cur := sample(), sample()
+	m := cur.Results["serial"]
+	m.OpsPerSec = base.Results["serial"].OpsPerSec / 3
+	cur.Results["serial"] = m
+	var log bytes.Buffer
+	if err := CompareBaseline(base, cur, 2.0, &log); err == nil {
+		t.Fatal("3x regression passed the 2x gate")
+	}
+}
+
+func TestCompareBaselineRefusesMismatches(t *testing.T) {
+	mutate := func(fn func(*Measurement)) Report {
+		r := sample()
+		m := r.Results["serial"]
+		fn(&m)
+		r.Results["serial"] = m
+		return r
+	}
+	var log bytes.Buffer
+	cases := map[string]Report{
+		"transport": mutate(func(m *Measurement) { m.Transport = TransportTCP }),
+		"scenario":  mutate(func(m *Measurement) { m.Scenario = "other" }),
+		"scheduler": mutate(func(m *Measurement) { m.Scheduler = "fifo" }),
+	}
+	for name, cur := range cases {
+		if err := CompareBaseline(sample(), cur, 2.0, &log); err == nil {
+			t.Errorf("%s mismatch was compared anyway", name)
+		}
+	}
+	schema := sample()
+	schema.Schema = SchemaVersion - 1
+	if err := CompareBaseline(schema, sample(), 2.0, &log); err == nil {
+		t.Error("schema mismatch was compared anyway")
+	}
+	missing := sample()
+	delete(missing.Results, "tcp")
+	if err := CompareBaseline(sample(), missing, 2.0, &log); err == nil {
+		t.Error("missing result was compared anyway")
+	}
+}

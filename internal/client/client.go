@@ -1,0 +1,410 @@
+// Package client is the wire-protocol client of the dynctrld daemon: a
+// connection-pooled, pipelined front-end that exposes the same
+// Submit/SubmitMany surface as the in-process controllers, so drivers
+// written against workload.Submitter or workload.ManySubmitter run
+// unchanged over TCP.
+//
+// Every SubmitMany run travels as one Submit frame tagged with a
+// correlation id; many runs may be in flight on one connection at a time
+// (pipelining), and a per-connection reader goroutine matches Results
+// frames back to their waiting callers by id. Calls are spread across the
+// pool round-robin, so concurrent callers get both connection-level and
+// in-connection parallelism without any coordination of their own.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/wire"
+)
+
+// ErrClosed is returned by submissions after Close.
+var ErrClosed = errors.New("client: closed")
+
+// ResultError is the typed error carried by a per-request wire result with
+// a non-OK code.
+type ResultError struct {
+	// Code is the wire error code (wire.CodeShutdown, ...).
+	Code uint8
+}
+
+func (e *ResultError) Error() string {
+	switch e.Code {
+	case wire.CodeShutdown:
+		return "dynctrld: server draining"
+	case wire.CodeTerminated:
+		return "dynctrld: controller terminated"
+	case wire.CodeBadRequest:
+		return "dynctrld: bad request"
+	case wire.CodeInternal:
+		return "dynctrld: internal server error"
+	default:
+		return fmt.Sprintf("dynctrld: error code %d", e.Code)
+	}
+}
+
+// Options configures Dial.
+type Options struct {
+	// Conns is the pool size (default 1).
+	Conns int
+	// DialTimeout bounds each TCP dial plus handshake (default 10s).
+	DialTimeout time.Duration
+	// OnRejectWave, when set, is invoked once when the server announces the
+	// reject wave, with the server's grant count at that point.
+	OnRejectWave func(granted int64)
+}
+
+// Client is a pooled connection to one daemon. It is safe for concurrent
+// use by any number of goroutines.
+type Client struct {
+	opts  Options
+	conns []*cliConn
+	next  atomic.Uint64
+
+	m, w    int64
+	topoSig uint64
+
+	waveSeen    atomic.Bool
+	waveGranted atomic.Int64
+
+	closed atomic.Bool
+}
+
+// Dial connects the pool and performs the version handshake on every
+// connection.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns < 1 {
+		opts.Conns = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	c := &Client{opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		cc, err := c.dialOne(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if i == 0 {
+			c.m, c.w, c.topoSig = cc.welcome.M, cc.welcome.W, cc.welcome.TopoSig
+		}
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+func (c *Client) dialOne(addr string) (*cliConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cliConn{
+		cl:      c,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: map[uint64]*pendingCall{},
+	}
+	nc.SetDeadline(time.Now().Add(c.opts.DialTimeout)) //nolint:errcheck
+	if err := cc.handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{}) //nolint:errcheck
+	go cc.readLoop()
+	return cc, nil
+}
+
+// M returns the server's permit bound from the handshake.
+func (c *Client) M() int64 { return c.m }
+
+// W returns the server's waste bound from the handshake.
+func (c *Client) W() int64 { return c.w }
+
+// TopologySignature returns the server's initial-topology signature from
+// the handshake (compare against workload.TopologySignature of a locally
+// reconstructed tree).
+func (c *Client) TopologySignature() uint64 { return c.topoSig }
+
+// RejectWaveSeen reports whether the server has announced the reject wave
+// on any pooled connection.
+func (c *Client) RejectWaveSeen() bool { return c.waveSeen.Load() }
+
+// RejectWaveGranted returns the server's grant count announced with the
+// wave (0 before RejectWaveSeen).
+func (c *Client) RejectWaveGranted() int64 { return c.waveGranted.Load() }
+
+// Submit sends one request and blocks until its verdict is in. It
+// implements workload.Submitter and oracle.Target.
+func (c *Client) Submit(req controller.Request) (controller.Grant, error) {
+	var one [1]controller.Request
+	var res [1]controller.BatchResult
+	one[0] = req
+	out, err := c.SubmitMany(one[:], res[:0])
+	if err != nil {
+		return controller.Grant{}, err
+	}
+	return out[0].Grant, out[0].Err
+}
+
+// SubmitMany sends a run of requests as one wire frame — transparently
+// split into several frames when the run exceeds wire.MaxBatchLen — and
+// blocks until the server has answered all of them, appending one
+// BatchResult per request to out. It implements workload.ManySubmitter.
+//
+// Delivery is at-most-once: a call is routed to a live pooled connection
+// (moving on from connections that are already dead), but once the frame
+// has been handed to a connection a failure is returned to the caller
+// rather than retried elsewhere — the server may have executed the batch
+// even though the reply was lost, and re-submitting would consume permits
+// twice behind the caller's back.
+func (c *Client) SubmitMany(reqs []controller.Request, out []controller.BatchResult) ([]controller.BatchResult, error) {
+	for len(reqs) > wire.MaxBatchLen {
+		var err error
+		out, err = c.submitRun(reqs[:wire.MaxBatchLen], out)
+		if err != nil {
+			return out, err
+		}
+		reqs = reqs[wire.MaxBatchLen:]
+	}
+	return c.submitRun(reqs, out)
+}
+
+// submitRun drives one frame-sized run through a live pooled connection.
+func (c *Client) submitRun(reqs []controller.Request, out []controller.BatchResult) ([]controller.BatchResult, error) {
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	if c.closed.Load() {
+		return out, ErrClosed
+	}
+	// Round-robin over the pool, skipping connections that are already
+	// dead. A connection that fails *during* the round trip ends the call:
+	// the requests may have reached the controller, so they must not be
+	// replayed on another connection.
+	start := c.next.Add(1)
+	for i := 0; i < len(c.conns); i++ {
+		cc := c.conns[(start+uint64(i))%uint64(len(c.conns))]
+		if cc.dead.Load() {
+			continue
+		}
+		res, err, attempted := cc.roundTrip(reqs, out)
+		if err == nil {
+			return res, nil
+		}
+		if c.closed.Load() {
+			return out, ErrClosed
+		}
+		if attempted {
+			return out, err
+		}
+		// The connection was torn down before the frame was handed to it:
+		// nothing reached the server, the next connection may serve it.
+	}
+	return out, fmt.Errorf("client: no live connections")
+}
+
+// Close tears the pool down. In-flight calls fail with connection errors.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for _, cc := range c.conns {
+		cc.nc.Close()
+	}
+	return nil
+}
+
+// pendingCall is one in-flight SubmitMany awaiting its Results frame.
+type pendingCall struct {
+	n    int // request count, must match the results count
+	out  []controller.BatchResult
+	done chan error
+}
+
+// cliConn is one pooled connection with a reader goroutine.
+type cliConn struct {
+	cl      *Client
+	nc      net.Conn
+	welcome wire.Welcome
+
+	wmu    sync.Mutex // guards bw and id/pending registration order
+	bw     *bufio.Writer
+	wbuf   []byte
+	reqbuf []wire.Req
+	id     uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]*pendingCall
+
+	dead atomic.Bool
+}
+
+func (cc *cliConn) handshake() error {
+	cc.wbuf = wire.AppendHello(cc.wbuf[:0], wire.Hello{Version: wire.Version})
+	if _, err := cc.nc.Write(cc.wbuf); err != nil {
+		return err
+	}
+	var rbuf []byte
+	ft, p, err := wire.ReadFrame(cc.nc, &rbuf)
+	if err != nil {
+		return fmt.Errorf("client: handshake read: %w", err)
+	}
+	switch ft {
+	case wire.FrameWelcome:
+		w, err := wire.DecodeWelcome(p)
+		if err != nil {
+			return err
+		}
+		if w.Version != wire.Version {
+			return fmt.Errorf("client: server speaks version %d, want %d", w.Version, wire.Version)
+		}
+		cc.welcome = w
+		return nil
+	case wire.FrameError:
+		e, err := wire.DecodeError(p)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("client: server refused handshake: %s", e)
+	default:
+		return fmt.Errorf("client: unexpected %v frame in handshake", ft)
+	}
+}
+
+// roundTrip registers a pending call, writes the Submit frame, and waits.
+// attempted reports whether the frame was handed to the connection — when
+// false the server cannot have seen the requests and the caller may safely
+// route them elsewhere.
+func (cc *cliConn) roundTrip(reqs []controller.Request, out []controller.BatchResult) (_ []controller.BatchResult, err error, attempted bool) {
+	pc := &pendingCall{n: len(reqs), out: out, done: make(chan error, 1)}
+
+	cc.wmu.Lock()
+	if cc.dead.Load() {
+		cc.wmu.Unlock()
+		return out, fmt.Errorf("client: connection closed"), false
+	}
+	cc.id++
+	id := cc.id
+	cc.pmu.Lock()
+	cc.pending[id] = pc
+	cc.pmu.Unlock()
+
+	if cap(cc.reqbuf) < len(reqs) {
+		cc.reqbuf = make([]wire.Req, len(reqs))
+	}
+	wr := cc.reqbuf[:len(reqs)]
+	for i, r := range reqs {
+		wr[i] = wire.Req{Node: r.Node, Kind: r.Kind, Child: r.Child}
+	}
+	cc.wbuf = wire.AppendSubmit(cc.wbuf[:0], id, wr)
+	_, werr := cc.bw.Write(cc.wbuf)
+	if werr == nil {
+		werr = cc.bw.Flush()
+	}
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.failAll(werr)
+		return out, werr, true
+	}
+
+	if err := <-pc.done; err != nil {
+		return out, err, true
+	}
+	return pc.out, nil, true
+}
+
+// readLoop dispatches Results frames to their pending calls and handles
+// server pushes until the connection dies.
+func (cc *cliConn) readLoop() {
+	var rbuf []byte
+	var rs wire.Results
+	var err error
+	for {
+		var ft wire.FrameType
+		var p []byte
+		ft, p, err = wire.ReadFrame(cc.nc, &rbuf)
+		if err != nil {
+			break
+		}
+		if err = cc.handleFrame(ft, p, &rs); err != nil {
+			break
+		}
+	}
+	cc.failAll(err)
+}
+
+// handleFrame processes one incoming frame; a non-nil return is
+// connection-fatal.
+func (cc *cliConn) handleFrame(ft wire.FrameType, p []byte, rs *wire.Results) error {
+	switch ft {
+	case wire.FrameResults:
+		if err := wire.DecodeResults(p, rs); err != nil {
+			return err
+		}
+		cc.pmu.Lock()
+		pc := cc.pending[rs.ID]
+		delete(cc.pending, rs.ID)
+		cc.pmu.Unlock()
+		if pc == nil {
+			return fmt.Errorf("client: results for unknown id %d", rs.ID)
+		}
+		if len(rs.Results) != pc.n {
+			err := fmt.Errorf("client: %d results for %d requests (id %d)", len(rs.Results), pc.n, rs.ID)
+			pc.done <- err
+			return err
+		}
+		for _, r := range rs.Results {
+			br := controller.BatchResult{}
+			if r.Code == wire.CodeOK {
+				br.Grant = controller.Grant{
+					Outcome: controller.Outcome(r.Outcome),
+					Serial:  r.Serial,
+					NewNode: tree.NodeID(r.NewNode),
+				}
+			} else {
+				br.Err = &ResultError{Code: r.Code}
+			}
+			pc.out = append(pc.out, br)
+		}
+		pc.done <- nil
+		return nil
+	case wire.FrameRejectWave:
+		rw, err := wire.DecodeRejectWave(p)
+		if err != nil {
+			return err
+		}
+		cc.cl.waveGranted.Store(rw.Granted)
+		if cc.cl.waveSeen.CompareAndSwap(false, true) && cc.cl.opts.OnRejectWave != nil {
+			cc.cl.opts.OnRejectWave(rw.Granted)
+		}
+		return nil
+	case wire.FrameError:
+		e, err := wire.DecodeError(p)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("client: server error: %s", e)
+	default:
+		return fmt.Errorf("client: unexpected %v frame", ft)
+	}
+}
+
+// failAll marks the connection dead and fails every pending call.
+func (cc *cliConn) failAll(err error) {
+	cc.dead.Store(true)
+	cc.nc.Close()
+	cc.pmu.Lock()
+	pending := cc.pending
+	cc.pending = map[uint64]*pendingCall{}
+	cc.pmu.Unlock()
+	for _, pc := range pending {
+		pc.done <- err
+	}
+}

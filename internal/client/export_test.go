@@ -1,0 +1,11 @@
+package client
+
+import "fmt"
+
+// BreakConnForTest force-fails pooled connection i, as if its socket died:
+// the connection is marked dead and every pending call on it errors. Tests
+// use it to exercise failover without depending on kernel-level timing.
+func (c *Client) BreakConnForTest(i int) {
+	cc := c.conns[i%len(c.conns)]
+	cc.failAll(fmt.Errorf("client: connection broken by test"))
+}

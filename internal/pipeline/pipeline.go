@@ -242,14 +242,28 @@ func (p *Pipeline) Flush() {
 	p.mu.Unlock()
 }
 
-// Close marks the pipeline closed: subsequent submissions fail with
-// ErrClosed. It flushes pending work first. The backing controller is left
-// untouched and can continue to serve serial Submits.
+// Close marks the pipeline closed and drains it: submissions that were
+// admitted before the close (including whole SubmitMany runs already
+// enqueued) are driven through the core and answered, and Close returns
+// only once no batch is executing and the queue is empty. Submissions
+// arriving at or after the close fail with ErrClosed — a sentinel, never a
+// panic — which is what a network server's graceful drain relies on: stop
+// admitting, finish everything in flight, then tear down. Close is
+// idempotent and safe to call concurrently with submissions and with other
+// Close calls. The backing controller is left untouched and can continue
+// to serve serial Submits.
 func (p *Pipeline) Close() {
 	p.mu.Lock()
 	p.closed = true
 	p.mu.Unlock()
 	p.Flush()
+}
+
+// Closed reports whether Close has been called.
+func (p *Pipeline) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // Stats returns a snapshot of the batching statistics.

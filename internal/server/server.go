@@ -1,0 +1,675 @@
+// Package server is the dynctrld daemon: a TCP service exposing an
+// (M,W)-Controller's Submit/grant/reject semantics over the wire protocol
+// of internal/wire.
+//
+// The server owns the whole admission stack — tree, message runtime,
+// distributed unknown-U controller, batching pipeline — and pushes every
+// request arriving on any connection through one dynctrl.Pipeline, so the
+// paper's safety invariant (at most M permits granted, ever) is enforced
+// across all clients of the socket, not per connection. Two layers of
+// batching amortize the protocol overhead under load: each connection
+// coalesces the frames already buffered on its socket into one SubmitMany
+// run (read-batching), and the pipeline combines runs from all connections
+// into controller batches (flat combining).
+//
+// In paranoid mode the submitter is additionally wrapped in the
+// internal/oracle invariant checkers, so every request served over the
+// network is re-checked against the paper's guarantees; violations are
+// reported on /metricsz and by Violations().
+//
+// A plain-text /metricsz endpoint (ops, grants, rejects, messages, batch
+// sizes) is served over HTTP on a second listener. Shutdown is graceful:
+// the listener closes, connection read sides close, in-flight batches are
+// drained and answered, and only then does the pipeline shut down.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/oracle"
+	"dynctrl/internal/pipeline"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/wire"
+	"dynctrl/internal/workload"
+)
+
+// DefaultReadBatch bounds how many requests one connection coalesces from
+// its socket buffer into a single SubmitMany run.
+const DefaultReadBatch = 4096
+
+// Config describes one daemon instance.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7700"; ":0" picks a
+	// free port).
+	Addr string
+	// MetricsAddr is the HTTP listen address of the /metricsz endpoint;
+	// empty disables it.
+	MetricsAddr string
+
+	// Topology and Seed determine the initial tree, exactly as in the
+	// scenario engine: the same (spec, seed) pair always builds the same
+	// tree, which is how a remote load generator reconstructs it.
+	Topology workload.TopologySpec
+	Seed     int64
+	// Scheduler names the transport schedule of the controller's message
+	// runtime (default "random").
+	Scheduler string
+
+	// M and W are the admission contract.
+	M, W int64
+
+	// Paranoid wraps the submitter in the internal/oracle invariant
+	// checkers: every request served over the wire is re-checked against
+	// the (M,W) contract.
+	Paranoid bool
+
+	// MaxBatch bounds the pipeline's combining cycles (0 = pipeline
+	// default); ReadBatch bounds per-connection read coalescing (0 =
+	// DefaultReadBatch).
+	MaxBatch  int
+	ReadBatch int
+}
+
+// Server is a running daemon instance.
+type Server struct {
+	cfg     Config
+	tr      *tree.Tree
+	rt      sim.Runtime
+	ctl     *dist.Dynamic
+	pl      *pipeline.Pipeline
+	guard   *guardedSubmitter
+	ctrs    *stats.Counters
+	topoSig uint64
+	started time.Time
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu     sync.Mutex
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Wire-level accounting: what the server actually answered over the
+	// network. The controller's own counters (grants, messages, ...) are
+	// reported separately on /metricsz; these are the numbers a load
+	// generator must reconcile against.
+	ops, grants, rejects, errs atomic.Int64
+	readBatches, readReqs      atomic.Int64
+	maxRead                    atomic.Int64
+	connsTotal                 atomic.Int64
+	rejectWave                 atomic.Bool
+	waveGranted                atomic.Int64
+}
+
+// guardedSubmitter serializes controller access (the pipeline leader is
+// the only submitter, but /metricsz samples the non-thread-safe runtime
+// counters concurrently) and optionally routes every request through the
+// oracle.
+type guardedSubmitter struct {
+	mu  sync.Mutex
+	sub controller.BatchSubmitter
+	orc *oracle.Oracle // non-nil in paranoid mode
+}
+
+func (g *guardedSubmitter) SubmitBatch(reqs []controller.Request, out []controller.BatchResult) []controller.BatchResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.orc == nil {
+		return g.sub.SubmitBatch(reqs, out)
+	}
+	for _, req := range reqs {
+		gr, err := g.orc.Submit(req)
+		out = append(out, controller.BatchResult{Grant: gr, Err: err})
+	}
+	return out
+}
+
+// New builds a server over a fresh admission stack. Call Start to begin
+// serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.M < 0 || cfg.W < 0 || cfg.W > cfg.M {
+		return nil, fmt.Errorf("server: invalid contract (M=%d, W=%d)", cfg.M, cfg.W)
+	}
+	if cfg.Topology.Kind == "" {
+		cfg.Topology.Kind = "balanced"
+	}
+	if cfg.Topology.Nodes < 1 {
+		cfg.Topology.Nodes = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "random"
+	}
+	if cfg.ReadBatch < 1 {
+		cfg.ReadBatch = DefaultReadBatch
+	}
+	tr, _ := tree.New()
+	if err := workload.BuildTopology(tr, cfg.Topology, cfg.Seed); err != nil {
+		return nil, err
+	}
+	rt, err := sim.NewRuntime(cfg.Scheduler, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ctrs := stats.NewCounters()
+	ctl := dist.NewDynamic(tr, rt, cfg.M, cfg.W, false, ctrs)
+
+	guard := &guardedSubmitter{sub: ctl}
+	if cfg.Paranoid {
+		guard.orc = oracle.Wrap(ctl, tr, cfg.M, cfg.W, oracle.WithMessages(rt.Messages))
+	}
+	var opts []pipeline.Option
+	if cfg.MaxBatch > 0 {
+		opts = append(opts, pipeline.WithMaxBatch(cfg.MaxBatch))
+	}
+	s := &Server{
+		cfg:     cfg,
+		tr:      tr,
+		rt:      rt,
+		ctl:     ctl,
+		guard:   guard,
+		ctrs:    ctrs,
+		pl:      pipeline.New(guard, opts...),
+		topoSig: workload.TopologySignature(tr),
+		conns:   map[*srvConn]struct{}{},
+	}
+	return s, nil
+}
+
+// Start opens the listeners and begins serving. It returns once the
+// listeners are bound (serving continues in background goroutines).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.started = time.Now()
+	if s.cfg.MetricsAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.httpLn = hln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.WriteMetrics(w)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(hln) //nolint:errcheck // closed on shutdown
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound wire-protocol address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// MetricsAddr returns the bound metrics address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// TopologySignature returns the signature of the initial tree, as sent in
+// the Welcome frame.
+func (s *Server) TopologySignature() uint64 { return s.topoSig }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c := &srvConn{s: s, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), bw: bufio.NewWriterSize(nc, 64<<10)}
+		s.conns[c] = struct{}{}
+		s.connsTotal.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// removeConn drops c from the live set (idempotent).
+func (s *Server) removeConn(c *srvConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// broadcastRejectWave pushes a RejectWave frame to every live connection.
+// Called at most once, by whichever connection observed the first reject.
+func (s *Server) broadcastRejectWave(granted int64) {
+	s.waveGranted.Store(granted)
+	s.mu.Lock()
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.pushRejectWave(granted)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, close connection
+// read sides (in-flight batches still get their responses), wait for the
+// handlers, then close the pipeline and run the oracle's end-of-run checks.
+// The context bounds the drain; on expiry remaining connections are cut.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.closeRead()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		for _, c := range conns {
+			c.nc.Close()
+		}
+		<-done
+	}
+
+	s.pl.Close()
+	s.guard.mu.Lock()
+	if s.guard.orc != nil {
+		s.guard.orc.Finish()
+	}
+	s.guard.mu.Unlock()
+
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	return drainErr
+}
+
+// Violations returns the oracle violations observed so far (nil when not
+// paranoid).
+func (s *Server) Violations() []oracle.Violation {
+	s.guard.mu.Lock()
+	defer s.guard.mu.Unlock()
+	if s.guard.orc == nil {
+		return nil
+	}
+	return append([]oracle.Violation(nil), s.guard.orc.Violations()...)
+}
+
+// Accounting returns the wire-level tallies: requests answered, grants,
+// rejects and per-request errors as written to the network.
+func (s *Server) Accounting() (ops, grants, rejects, errs int64) {
+	return s.ops.Load(), s.grants.Load(), s.rejects.Load(), s.errs.Load()
+}
+
+// TransportMessages samples the controller transport's delivered-message
+// count. The runtime is not thread-safe, so the sample is taken under the
+// same lock the pipeline leader holds while driving batches.
+func (s *Server) TransportMessages() int64 {
+	s.guard.mu.Lock()
+	defer s.guard.mu.Unlock()
+	return s.rt.Messages()
+}
+
+// srvConn is one accepted wire-protocol connection.
+type srvConn struct {
+	s  *Server
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex // guards bw and the underlying write side
+	bw  *bufio.Writer
+
+	readClosed atomic.Bool
+}
+
+// closeRead shuts the read side so the serve loop drains out; responses for
+// in-flight batches still go to the client.
+func (c *srvConn) closeRead() {
+	c.readClosed.Store(true)
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		tc.CloseRead() //nolint:errcheck
+		return
+	}
+	// Non-TCP (e.g. in-memory test pipes): fall back to a hard close.
+	c.nc.Close()
+}
+
+// pushRejectWave writes the async reject-wave notification.
+func (c *srvConn) pushRejectWave(granted int64) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := wire.AppendRejectWave(nil, wire.RejectWave{Granted: granted})
+	c.bw.Write(buf) //nolint:errcheck // write errors surface on the conn
+	c.bw.Flush()    //nolint:errcheck
+}
+
+// fail writes a connection-fatal error frame and gives up on the peer.
+func (c *srvConn) fail(code uint8, detail string) {
+	c.wmu.Lock()
+	c.bw.Write(wire.AppendError(nil, wire.ErrorFrame{Code: code, Detail: detail})) //nolint:errcheck
+	c.bw.Flush()                                                                   //nolint:errcheck
+	c.wmu.Unlock()
+}
+
+func (c *srvConn) serve() {
+	defer c.s.wg.Done()
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+
+	var rbuf []byte
+
+	// Handshake: exactly one Hello, answered with Welcome.
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	ft, p, err := wire.ReadFrame(c.br, &rbuf)
+	if err != nil {
+		return
+	}
+	if ft != wire.FrameHello {
+		c.fail(wire.CodeProtocol, fmt.Sprintf("expected hello, got %v", ft))
+		return
+	}
+	hello, err := wire.DecodeHello(p)
+	if err != nil {
+		c.fail(wire.CodeProtocol, err.Error())
+		return
+	}
+	if hello.Version != wire.Version {
+		c.fail(wire.CodeVersion, fmt.Sprintf("server speaks version %d, client sent %d", wire.Version, hello.Version))
+		return
+	}
+	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	c.wmu.Lock()
+	c.bw.Write(wire.AppendWelcome(nil, wire.Welcome{ //nolint:errcheck
+		Version: wire.Version,
+		M:       c.s.cfg.M,
+		W:       c.s.cfg.W,
+		TopoSig: c.s.topoSig,
+	}))
+	if err := c.bw.Flush(); err != nil {
+		c.wmu.Unlock()
+		return
+	}
+	c.wmu.Unlock()
+
+	// Request loop with read-batching: each wakeup takes the frame that
+	// unblocked the read plus every complete Submit frame already sitting
+	// in the socket buffer (up to ReadBatch requests), answers them all
+	// through one SubmitMany run, then writes one Results frame per Submit.
+	var (
+		sub     wire.Submit
+		ids     []uint64
+		counts  []int
+		reqs    []controller.Request
+		results []controller.BatchResult
+		wbuf    []byte
+		wres    []wire.Result
+	)
+	for {
+		ids, counts, reqs = ids[:0], counts[:0], reqs[:0]
+
+		ft, p, err := wire.ReadFrame(c.br, &rbuf)
+		if err != nil {
+			return // peer closed, shutdown, or read error: drain out
+		}
+		if ok := c.ingest(ft, p, &sub, &ids, &counts, &reqs); !ok {
+			return
+		}
+		for len(reqs) < c.s.cfg.ReadBatch {
+			if !c.completeFrameBuffered() {
+				break
+			}
+			ft, p, err := wire.ReadFrame(c.br, &rbuf)
+			if err != nil {
+				return
+			}
+			if ok := c.ingest(ft, p, &sub, &ids, &counts, &reqs); !ok {
+				return
+			}
+		}
+		if len(reqs) == 0 {
+			if len(ids) > 0 {
+				// Empty Submit frames still get their (empty) Results reply:
+				// every submitted id is answered, always.
+				c.accountAndReply(ids, counts, nil, &wbuf, &wres)
+			}
+			continue
+		}
+
+		n := int64(len(reqs))
+		c.s.readBatches.Add(1)
+		c.s.readReqs.Add(n)
+		if max := c.s.maxRead.Load(); n > max {
+			c.s.maxRead.CompareAndSwap(max, n) // best-effort high-water mark
+		}
+
+		results, err = c.s.pl.SubmitMany(reqs, results[:0])
+		if errors.Is(err, pipeline.ErrClosed) {
+			// Admitted after the drain began: answer everything with the
+			// shutdown code so the client can tell these were not served.
+			results = results[:0]
+			for range reqs {
+				results = append(results, controller.BatchResult{Err: pipeline.ErrClosed})
+			}
+		} else if err != nil {
+			c.fail(wire.CodeProtocol, err.Error())
+			return
+		}
+
+		c.accountAndReply(ids, counts, results, &wbuf, &wres)
+	}
+}
+
+// ingest folds one frame into the current read batch. It reports false
+// when the connection must be torn down (protocol error).
+func (c *srvConn) ingest(ft wire.FrameType, p []byte, sub *wire.Submit,
+	ids *[]uint64, counts *[]int, reqs *[]controller.Request) bool {
+	if ft != wire.FrameSubmit {
+		c.fail(wire.CodeProtocol, fmt.Sprintf("unexpected %v frame", ft))
+		return false
+	}
+	if err := wire.DecodeSubmit(p, sub); err != nil {
+		c.fail(wire.CodeProtocol, err.Error())
+		return false
+	}
+	*ids = append(*ids, sub.ID)
+	*counts = append(*counts, len(sub.Reqs))
+	for _, r := range sub.Reqs {
+		*reqs = append(*reqs, controller.Request{Node: r.Node, Kind: r.Kind, Child: r.Child})
+	}
+	return true
+}
+
+// completeFrameBuffered reports whether at least one whole frame sits in
+// the read buffer, so reading it cannot block.
+func (c *srvConn) completeFrameBuffered() bool {
+	if c.br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := c.br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n < 1 || n > wire.MaxFrame {
+		// Let ReadFrame consume it and report the protocol error.
+		return true
+	}
+	return c.br.Buffered() >= 4+n
+}
+
+// accountAndReply updates the wire-level tallies and writes one Results
+// frame per submitted frame, in order.
+func (c *srvConn) accountAndReply(ids []uint64, counts []int,
+	results []controller.BatchResult, wbuf *[]byte, wres *[]wire.Result) {
+	var grants, rejects, errs int64
+	buf := (*wbuf)[:0]
+	off := 0
+	for i, id := range ids {
+		n := counts[i]
+		res := (*wres)[:0]
+		for _, br := range results[off : off+n] {
+			var r wire.Result
+			switch {
+			case br.Err == nil:
+				r = wire.Result{
+					Outcome: uint8(br.Grant.Outcome),
+					Code:    wire.CodeOK,
+					Serial:  br.Grant.Serial,
+					NewNode: br.Grant.NewNode,
+				}
+				switch br.Grant.Outcome {
+				case controller.Granted:
+					grants++
+				case controller.Rejected:
+					rejects++
+				}
+			case errors.Is(br.Err, pipeline.ErrClosed):
+				r = wire.Result{Code: wire.CodeShutdown}
+				errs++
+			case errors.Is(br.Err, dist.ErrTerminated):
+				r = wire.Result{Code: wire.CodeTerminated}
+				errs++
+			default:
+				r = wire.Result{Code: wire.CodeBadRequest}
+				errs++
+			}
+			res = append(res, r)
+		}
+		off += n
+		buf = wire.AppendResults(buf, id, res)
+		*wres = res
+	}
+	*wbuf = buf
+
+	c.s.ops.Add(int64(off))
+	c.s.grants.Add(grants)
+	c.s.rejects.Add(rejects)
+	c.s.errs.Add(errs)
+
+	c.wmu.Lock()
+	c.bw.Write(buf) //nolint:errcheck // write errors surface on the next op
+	c.bw.Flush()    //nolint:errcheck
+	c.wmu.Unlock()
+
+	// First reject observed on the wire: announce the wave to every client.
+	if rejects > 0 && c.s.rejectWave.CompareAndSwap(false, true) {
+		c.s.broadcastRejectWave(c.s.grants.Load())
+	}
+}
+
+// WriteMetrics renders the plain-text /metricsz document.
+func (s *Server) WriteMetrics(w io.Writer) {
+	ps := s.pl.Stats()
+	snap := s.ctrs.Snapshot()
+
+	// The runtime is not thread-safe: sample it under the same lock the
+	// pipeline leader holds while driving batches.
+	s.guard.mu.Lock()
+	transport := s.rt.Messages()
+	var violations int
+	if s.guard.orc != nil {
+		violations = len(s.guard.orc.Violations())
+	}
+	s.guard.mu.Unlock()
+
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+
+	paranoid := 0
+	if s.cfg.Paranoid {
+		paranoid = 1
+	}
+	wave := 0
+	if s.rejectWave.Load() {
+		wave = 1
+	}
+
+	fmt.Fprintf(w, "dynctrld_protocol_version %d\n", wire.Version)
+	fmt.Fprintf(w, "dynctrld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "dynctrld_m %d\n", s.cfg.M)
+	fmt.Fprintf(w, "dynctrld_w %d\n", s.cfg.W)
+	fmt.Fprintf(w, "dynctrld_paranoid %d\n", paranoid)
+	fmt.Fprintf(w, "dynctrld_topology_signature %d\n", s.topoSig)
+
+	fmt.Fprintf(w, "dynctrld_ops_total %d\n", s.ops.Load())
+	fmt.Fprintf(w, "dynctrld_grants_total %d\n", s.grants.Load())
+	fmt.Fprintf(w, "dynctrld_rejects_total %d\n", s.rejects.Load())
+	fmt.Fprintf(w, "dynctrld_errors_total %d\n", s.errs.Load())
+	fmt.Fprintf(w, "dynctrld_reject_wave %d\n", wave)
+	fmt.Fprintf(w, "dynctrld_reject_wave_granted %d\n", s.waveGranted.Load())
+
+	fmt.Fprintf(w, "dynctrld_connections_open %d\n", open)
+	fmt.Fprintf(w, "dynctrld_connections_total %d\n", s.connsTotal.Load())
+
+	fmt.Fprintf(w, "dynctrld_read_batches_total %d\n", s.readBatches.Load())
+	fmt.Fprintf(w, "dynctrld_read_batch_requests_total %d\n", s.readReqs.Load())
+	fmt.Fprintf(w, "dynctrld_read_batch_max %d\n", s.maxRead.Load())
+	fmt.Fprintf(w, "dynctrld_pipeline_batches_total %d\n", ps.Batches)
+	fmt.Fprintf(w, "dynctrld_pipeline_requests_total %d\n", ps.Requests)
+	fmt.Fprintf(w, "dynctrld_pipeline_batch_max %d\n", ps.MaxBatch)
+
+	fmt.Fprintf(w, "dynctrld_transport_messages_total %d\n", transport)
+	fmt.Fprintf(w, "dynctrld_control_messages_total %d\n", snap[dist.CounterControl])
+	fmt.Fprintf(w, "dynctrld_ctl_grants_total %d\n", snap[stats.CounterGrants])
+	fmt.Fprintf(w, "dynctrld_ctl_rejects_total %d\n", snap[stats.CounterRejects])
+	fmt.Fprintf(w, "dynctrld_topo_changes_total %d\n", snap[stats.CounterTopoChanges])
+	fmt.Fprintf(w, "dynctrld_tree_nodes %d\n", s.tr.Size())
+	fmt.Fprintf(w, "dynctrld_tree_height %d\n", s.tr.Height())
+	fmt.Fprintf(w, "dynctrld_oracle_violations %d\n", violations)
+}

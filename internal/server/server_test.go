@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dynctrl/internal/client"
+	"dynctrl/internal/controller"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/wire"
+	"dynctrl/internal/workload"
+)
+
+// startServer builds and starts a loopback server, tearing it down with the
+// test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	return s
+}
+
+func TestSubmitOverWire(t *testing.T) {
+	s := startServer(t, Config{
+		Topology: workload.TopologySpec{Kind: "balanced", Nodes: 16},
+		Seed:     1, M: 1000, W: 100,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{Conns: 2})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	if cl.M() != 1000 || cl.W() != 100 {
+		t.Fatalf("handshake contract (%d, %d), want (1000, 100)", cl.M(), cl.W())
+	}
+	if cl.TopologySignature() != s.TopologySignature() {
+		t.Fatal("handshake topology signature mismatch")
+	}
+
+	// An event at the root must be granted.
+	tr, _ := tree.New()
+	if err := workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 16}, 1); err != nil {
+		t.Fatalf("rebuild topology: %v", err)
+	}
+	if sig := workload.TopologySignature(tr); sig != cl.TopologySignature() {
+		t.Fatalf("local topology signature %d, server %d", sig, cl.TopologySignature())
+	}
+	g, err := cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if g.Outcome != controller.Granted {
+		t.Fatalf("outcome %v, want granted", g.Outcome)
+	}
+
+	// A leaf addition reports the new node id.
+	g, err = cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.AddLeaf})
+	if err != nil {
+		t.Fatalf("Submit add-leaf: %v", err)
+	}
+	if g.Outcome != controller.Granted || g.NewNode == tree.InvalidNode {
+		t.Fatalf("add-leaf: outcome %v new node %d", g.Outcome, g.NewNode)
+	}
+
+	// An unknown node is answered with a bad-request error, not a dropped
+	// connection.
+	_, err = cl.Submit(controller.Request{Node: 99999, Kind: tree.None})
+	var re *client.ResultError
+	if !errors.As(err, &re) || re.Code != wire.CodeBadRequest {
+		t.Fatalf("unknown node: err %v, want ResultError(CodeBadRequest)", err)
+	}
+
+	// The connection survived: the next request is served.
+	if _, err := cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil {
+		t.Fatalf("Submit after bad request: %v", err)
+	}
+
+	ops, grants, rejects, errs := s.Accounting()
+	if ops != 4 || grants != 3 || rejects != 0 || errs != 1 {
+		t.Fatalf("accounting ops=%d grants=%d rejects=%d errs=%d, want 4/3/0/1", ops, grants, rejects, errs)
+	}
+}
+
+func TestHandshakeVersionReject(t *testing.T) {
+	s := startServer(t, Config{
+		Topology: workload.TopologySpec{Kind: "star", Nodes: 4},
+		M:        10, W: 1,
+	})
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write(wire.AppendHello(nil, wire.Hello{Version: 42})); err != nil {
+		t.Fatalf("write hello: %v", err)
+	}
+	var rbuf []byte
+	ft, p, err := wire.ReadFrame(bufio.NewReader(nc), &rbuf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ft != wire.FrameError {
+		t.Fatalf("frame %v, want error", ft)
+	}
+	e, err := wire.DecodeError(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if e.Code != wire.CodeVersion {
+		t.Fatalf("error code %d, want CodeVersion", e.Code)
+	}
+}
+
+func TestMalformedFrameGetsProtocolError(t *testing.T) {
+	s := startServer(t, Config{
+		Topology: workload.TopologySpec{Kind: "star", Nodes: 4},
+		M:        10, W: 1,
+	})
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	var rbuf []byte
+
+	nc.Write(wire.AppendHello(nil, wire.Hello{Version: wire.Version})) //nolint:errcheck
+	if ft, _, err := wire.ReadFrame(br, &rbuf); err != nil || ft != wire.FrameWelcome {
+		t.Fatalf("handshake: frame %v err %v", ft, err)
+	}
+
+	// A results frame is not something a client may send.
+	nc.Write(wire.AppendResults(nil, 9, nil)) //nolint:errcheck
+	ft, p, err := wire.ReadFrame(br, &rbuf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ft != wire.FrameError {
+		t.Fatalf("frame %v, want error", ft)
+	}
+	if e, _ := wire.DecodeError(p); e.Code != wire.CodeProtocol {
+		t.Fatalf("error code %d, want CodeProtocol", e.Code)
+	}
+	// The server closes the connection after a protocol error.
+	if _, _, err := wire.ReadFrame(br, &rbuf); !errors.Is(err, io.EOF) {
+		t.Fatalf("after protocol error: err %v, want EOF", err)
+	}
+}
+
+func TestEmptySubmitFrameIsAnswered(t *testing.T) {
+	s := startServer(t, Config{
+		Topology: workload.TopologySpec{Kind: "star", Nodes: 4},
+		M:        10, W: 1,
+	})
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	var rbuf []byte
+
+	nc.Write(wire.AppendHello(nil, wire.Hello{Version: wire.Version})) //nolint:errcheck
+	if ft, _, err := wire.ReadFrame(br, &rbuf); err != nil || ft != wire.FrameWelcome {
+		t.Fatalf("handshake: frame %v err %v", ft, err)
+	}
+
+	// Every Submit frame gets its Results frame — even an empty one.
+	nc.Write(wire.AppendSubmit(nil, 7, nil)) //nolint:errcheck
+	ft, p, err := wire.ReadFrame(br, &rbuf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ft != wire.FrameResults {
+		t.Fatalf("frame %v, want results", ft)
+	}
+	var rs wire.Results
+	if err := wire.DecodeResults(p, &rs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rs.ID != 7 || len(rs.Results) != 0 {
+		t.Fatalf("results id %d len %d, want 7 / 0", rs.ID, len(rs.Results))
+	}
+}
+
+func TestMetricsz(t *testing.T) {
+	s := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "balanced", Nodes: 8},
+		Seed:        3, M: 500, W: 50, Paranoid: true,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	tr, _ := tree.New()
+	workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 8}, 3) //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metricsz", s.MetricsAddr()))
+	if err != nil {
+		t.Fatalf("GET /metricsz: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"dynctrld_ops_total 10",
+		"dynctrld_grants_total 10",
+		"dynctrld_rejects_total 0",
+		"dynctrld_errors_total 0",
+		"dynctrld_m 500",
+		"dynctrld_w 50",
+		"dynctrld_paranoid 1",
+		"dynctrld_oracle_violations 0",
+		"dynctrld_connections_open 1",
+		"dynctrld_read_batches_total",
+		"dynctrld_pipeline_requests_total 10",
+		"dynctrld_transport_messages_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metricsz missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGracefulShutdownAnswersInFlight(t *testing.T) {
+	s := startServer(t, Config{
+		Topology: workload.TopologySpec{Kind: "balanced", Nodes: 8},
+		Seed:     1, M: 100000, W: 50000,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{Conns: 4})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	tr, _ := tree.New()
+	workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 8}, 1) //nolint:errcheck
+	root := tr.Root()
+
+	// Phase 1: concurrent load that completes before the shutdown. Every
+	// grant the server accounts must have reached a client.
+	pump := func(rounds int, stop <-chan struct{}) <-chan int64 {
+		done := make(chan int64, 8)
+		for g := 0; g < 8; g++ {
+			go func() {
+				var grants int64
+				reqs := make([]controller.Request, 16)
+				for i := range reqs {
+					reqs[i] = controller.Request{Node: root, Kind: tree.None}
+				}
+				var out []controller.BatchResult
+				for i := 0; i < rounds; i++ {
+					select {
+					case <-stop:
+						i = rounds
+						continue
+					default:
+					}
+					res, err := cl.SubmitMany(reqs, out[:0])
+					if err != nil {
+						break
+					}
+					for _, r := range res {
+						if r.Err == nil && r.Grant.Outcome == controller.Granted {
+							grants++
+						}
+					}
+					out = res
+				}
+				done <- grants
+			}()
+		}
+		return done
+	}
+
+	done := pump(50, nil)
+	var clientGrants int64
+	for g := 0; g < 8; g++ {
+		clientGrants += <-done
+	}
+	_, grants, _, _ := s.Accounting()
+	if clientGrants != grants {
+		t.Fatalf("clients saw %d grants, server accounted %d", clientGrants, grants)
+	}
+
+	// Phase 2: shut down under live load. Every call must resolve — a
+	// verdict, a shutdown code, or a connection error — never a hang.
+	stop := make(chan struct{})
+	done = pump(1<<30, stop)
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	for g := 0; g < 8; g++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("client goroutine hung after shutdown")
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package wire is the binary protocol of the dynctrld admission-control
+// service: a compact length-prefixed framing carrying the controller's
+// Submit/grant/reject vocabulary over a byte stream.
+//
+// Every frame is
+//
+//	uint32  length   (big-endian; length of type byte + payload)
+//	uint8   type     (FrameHello, FrameWelcome, ...)
+//	[]byte  payload  (frame-specific, little-endian fixed-width fields)
+//
+// A connection opens with a Hello/Welcome version handshake, then the
+// client streams Submit frames — each a correlation id plus a batch of
+// requests — and the server answers each with a Results frame carrying the
+// same id and one result per request, in order. Results may arrive out of
+// submission order across ids (the server pipelines), so clients match on
+// the id. A RejectWave frame may be pushed by the server at any point after
+// the handshake: it announces that the controller's reject wave has run and
+// every later request will be rejected. An Error frame is connection-fatal.
+//
+// The payload encodings are fixed-width little-endian (no varints): the
+// hot-path frames are Submit and Results, and fixed widths keep encode and
+// decode branch-free per entry. Frames are bounded by MaxFrame; a decoder
+// must reject anything larger before allocating.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dynctrl/internal/tree"
+)
+
+// Version is the protocol version spoken by this package. A server answers
+// a Hello carrying an unknown version with an Error frame (CodeVersion) and
+// closes the connection.
+const Version = 1
+
+// MaxFrame bounds the length prefix (type byte + payload) of every frame.
+// It admits a Submit batch of over 60k requests, far above any sane
+// read-batch, while keeping a malicious length prefix from driving a large
+// allocation.
+const MaxFrame = 1 << 20
+
+// FrameType tags a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a connection: client → server, {version}.
+	FrameHello FrameType = 1
+	// FrameWelcome accepts the handshake: server → client,
+	// {version, M, W, topology signature}.
+	FrameWelcome FrameType = 2
+	// FrameSubmit carries a correlated batch of requests: client → server.
+	FrameSubmit FrameType = 3
+	// FrameResults answers one Submit frame: server → client, same id, one
+	// result per request in order.
+	FrameResults FrameType = 4
+	// FrameRejectWave announces that the reject wave has run: server →
+	// client, {granted so far}. Push-only; no response.
+	FrameRejectWave FrameType = 5
+	// FrameError reports a connection-fatal protocol error; the sender
+	// closes the connection after writing it.
+	FrameError FrameType = 6
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameSubmit:
+		return "submit"
+	case FrameResults:
+		return "results"
+	case FrameRejectWave:
+		return "reject-wave"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Per-result error codes (Result.Code). CodeOK accompanies every answered
+// request; the others replace an outcome when the controller returned an
+// error for that request.
+const (
+	// CodeOK: the request was answered; Outcome/Serial/NewNode are valid.
+	CodeOK uint8 = 0
+	// CodeShutdown: the server is draining; the request was not admitted.
+	CodeShutdown uint8 = 1
+	// CodeTerminated: a terminating controller has terminated.
+	CodeTerminated uint8 = 2
+	// CodeBadRequest: the controller refused the request (unknown node,
+	// invalid kind for the target, ...).
+	CodeBadRequest uint8 = 3
+	// CodeInternal: the server failed to process the request.
+	CodeInternal uint8 = 4
+)
+
+// Connection-fatal error codes (ErrorFrame.Code).
+const (
+	// CodeVersion: the Hello carried an unsupported protocol version.
+	CodeVersion uint8 = 10
+	// CodeProtocol: a malformed or unexpected frame was received.
+	CodeProtocol uint8 = 11
+)
+
+// Decode errors.
+var (
+	// ErrFrameTooLarge is returned for a length prefix above MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	// ErrShortPayload is returned when a payload ends mid-field.
+	ErrShortPayload = errors.New("wire: truncated payload")
+	// ErrBadKind is returned for an out-of-range request kind.
+	ErrBadKind = errors.New("wire: invalid request kind")
+)
+
+// Req is one request on the wire: the node the request arrives at, the
+// change kind, and (for AddInternal) the child whose parent edge splits.
+// It mirrors controller.Request without importing it — the wire format is
+// the boundary, so it depends only on the tree vocabulary.
+type Req struct {
+	Node  tree.NodeID
+	Kind  tree.ChangeKind
+	Child tree.NodeID
+}
+
+// Result is one per-request answer. When Code is not CodeOK the outcome
+// fields are meaningless and the request failed with the coded error.
+type Result struct {
+	Outcome uint8
+	Code    uint8
+	Serial  int64
+	NewNode tree.NodeID
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Version uint16
+}
+
+// Welcome is the server's handshake answer: the protocol version it will
+// speak and the admission contract it arbitrates. TopoSig is a signature of
+// the server's initial topology (workload.TopologySignature) so a load
+// generator replaying a scenario can verify it reconstructed the same tree.
+type Welcome struct {
+	Version uint16
+	M, W    int64
+	TopoSig uint64
+}
+
+// Submit is a correlated batch of requests.
+type Submit struct {
+	ID   uint64
+	Reqs []Req
+}
+
+// Results answers the Submit frame with the same ID.
+type Results struct {
+	ID      uint64
+	Results []Result
+}
+
+// RejectWave announces the reject wave; Granted is the server's grant count
+// at the time the wave ran.
+type RejectWave struct {
+	Granted int64
+}
+
+// ErrorFrame is a connection-fatal error.
+type ErrorFrame struct {
+	Code   uint8
+	Detail string
+}
+
+// String renders the error frame for diagnostics.
+func (e ErrorFrame) String() string {
+	return fmt.Sprintf("code %d: %s", e.Code, e.Detail)
+}
+
+// reqSize is the encoded size of one Req (node + kind + child).
+const reqSize = 8 + 1 + 8
+
+// resSize is the encoded size of one Result.
+const resSize = 1 + 1 + 8 + 8
+
+// MaxBatchLen is the largest request count one Submit frame may carry such
+// that both the Submit frame and its Results reply (whose entries are the
+// wider of the two encodings) fit MaxFrame. Clients must split longer runs
+// across several frames.
+const MaxBatchLen = (MaxFrame - 1 - 8 - 4) / resSize
+
+// appendHeader appends the length prefix and type byte for a payload of n
+// bytes.
+func appendHeader(buf []byte, t FrameType, n int) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n+1))
+	return append(buf, byte(t))
+}
+
+// AppendHello appends an encoded Hello frame to buf.
+func AppendHello(buf []byte, h Hello) []byte {
+	buf = appendHeader(buf, FrameHello, 2)
+	return binary.LittleEndian.AppendUint16(buf, h.Version)
+}
+
+// AppendWelcome appends an encoded Welcome frame to buf.
+func AppendWelcome(buf []byte, w Welcome) []byte {
+	buf = appendHeader(buf, FrameWelcome, 2+8+8+8)
+	buf = binary.LittleEndian.AppendUint16(buf, w.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.M))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.W))
+	return binary.LittleEndian.AppendUint64(buf, w.TopoSig)
+}
+
+// AppendSubmit appends an encoded Submit frame to buf.
+func AppendSubmit(buf []byte, id uint64, reqs []Req) []byte {
+	buf = appendHeader(buf, FrameSubmit, 8+4+len(reqs)*reqSize)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(reqs)))
+	for _, r := range reqs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Node))
+		buf = append(buf, byte(r.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Child))
+	}
+	return buf
+}
+
+// AppendResults appends an encoded Results frame to buf.
+func AppendResults(buf []byte, id uint64, results []Result) []byte {
+	buf = appendHeader(buf, FrameResults, 8+4+len(results)*resSize)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(results)))
+	for _, r := range results {
+		buf = append(buf, r.Outcome, r.Code)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Serial))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.NewNode))
+	}
+	return buf
+}
+
+// AppendRejectWave appends an encoded RejectWave frame to buf.
+func AppendRejectWave(buf []byte, rw RejectWave) []byte {
+	buf = appendHeader(buf, FrameRejectWave, 8)
+	return binary.LittleEndian.AppendUint64(buf, uint64(rw.Granted))
+}
+
+// AppendError appends an encoded Error frame to buf. Details longer than
+// 64 KiB are truncated so the frame always fits MaxFrame.
+func AppendError(buf []byte, e ErrorFrame) []byte {
+	detail := e.Detail
+	if len(detail) > 1<<16 {
+		detail = detail[:1<<16]
+	}
+	buf = appendHeader(buf, FrameError, 1+4+len(detail))
+	buf = append(buf, e.Code)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(detail)))
+	return append(buf, detail...)
+}
+
+// ReadFrame reads one frame from r, reusing *buf for the payload when it
+// has capacity (growing it in place otherwise). It returns the frame type
+// and the payload bytes, which stay valid until the next ReadFrame with the
+// same buffer. io.EOF is returned untouched on a clean EOF at a frame
+// boundary; a mid-frame EOF surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf *[]byte) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, unexpected(err)
+	}
+	t := FrameType(hdr[4])
+	plen := int(n) - 1
+	if cap(*buf) < plen {
+		*buf = make([]byte, plen)
+	}
+	p := (*buf)[:plen]
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, unexpected(err)
+	}
+	return t, p, nil
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// byteReader is the minimal cursor shared by the payload decoders.
+type byteReader struct {
+	p   []byte
+	off int
+}
+
+func (b *byteReader) u8() (uint8, error) {
+	if b.off+1 > len(b.p) {
+		return 0, ErrShortPayload
+	}
+	v := b.p[b.off]
+	b.off++
+	return v, nil
+}
+
+func (b *byteReader) u16() (uint16, error) {
+	if b.off+2 > len(b.p) {
+		return 0, ErrShortPayload
+	}
+	v := binary.LittleEndian.Uint16(b.p[b.off:])
+	b.off += 2
+	return v, nil
+}
+
+func (b *byteReader) u32() (uint32, error) {
+	if b.off+4 > len(b.p) {
+		return 0, ErrShortPayload
+	}
+	v := binary.LittleEndian.Uint32(b.p[b.off:])
+	b.off += 4
+	return v, nil
+}
+
+func (b *byteReader) u64() (uint64, error) {
+	if b.off+8 > len(b.p) {
+		return 0, ErrShortPayload
+	}
+	v := binary.LittleEndian.Uint64(b.p[b.off:])
+	b.off += 8
+	return v, nil
+}
+
+func (b *byteReader) trailing() error {
+	if b.off != len(b.p) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(b.p)-b.off)
+	}
+	return nil
+}
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	b := byteReader{p: p}
+	v, err := b.u16()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Version: v}, b.trailing()
+}
+
+// DecodeWelcome decodes a Welcome payload.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	b := byteReader{p: p}
+	var w Welcome
+	v, err := b.u16()
+	if err != nil {
+		return w, err
+	}
+	w.Version = v
+	m, err := b.u64()
+	if err != nil {
+		return w, err
+	}
+	w.M = int64(m)
+	wv, err := b.u64()
+	if err != nil {
+		return w, err
+	}
+	w.W = int64(wv)
+	sig, err := b.u64()
+	if err != nil {
+		return w, err
+	}
+	w.TopoSig = sig
+	return w, b.trailing()
+}
+
+// DecodeSubmit decodes a Submit payload into s, reusing s.Reqs when it has
+// capacity. The declared count is validated against the payload length
+// before any allocation, so a hostile count cannot drive a large make.
+func DecodeSubmit(p []byte, s *Submit) error {
+	b := byteReader{p: p}
+	id, err := b.u64()
+	if err != nil {
+		return err
+	}
+	count, err := b.u32()
+	if err != nil {
+		return err
+	}
+	if int(count)*reqSize != len(p)-b.off {
+		return fmt.Errorf("wire: submit declares %d requests, payload holds %d bytes: %w",
+			count, len(p)-b.off, ErrShortPayload)
+	}
+	s.ID = id
+	if cap(s.Reqs) < int(count) {
+		s.Reqs = make([]Req, count)
+	}
+	s.Reqs = s.Reqs[:count]
+	for i := range s.Reqs {
+		node, _ := b.u64()
+		kind, _ := b.u8()
+		child, _ := b.u64()
+		if tree.ChangeKind(kind) < tree.None || tree.ChangeKind(kind) > tree.RemoveInternal {
+			return fmt.Errorf("%w: %d", ErrBadKind, kind)
+		}
+		s.Reqs[i] = Req{Node: tree.NodeID(node), Kind: tree.ChangeKind(kind), Child: tree.NodeID(child)}
+	}
+	return b.trailing()
+}
+
+// DecodeResults decodes a Results payload into rs, reusing rs.Results when
+// it has capacity.
+func DecodeResults(p []byte, rs *Results) error {
+	b := byteReader{p: p}
+	id, err := b.u64()
+	if err != nil {
+		return err
+	}
+	count, err := b.u32()
+	if err != nil {
+		return err
+	}
+	if int(count)*resSize != len(p)-b.off {
+		return fmt.Errorf("wire: results declare %d entries, payload holds %d bytes: %w",
+			count, len(p)-b.off, ErrShortPayload)
+	}
+	rs.ID = id
+	if cap(rs.Results) < int(count) {
+		rs.Results = make([]Result, count)
+	}
+	rs.Results = rs.Results[:count]
+	for i := range rs.Results {
+		outcome, _ := b.u8()
+		code, _ := b.u8()
+		serial, _ := b.u64()
+		newNode, _ := b.u64()
+		rs.Results[i] = Result{
+			Outcome: outcome,
+			Code:    code,
+			Serial:  int64(serial),
+			NewNode: tree.NodeID(newNode),
+		}
+	}
+	return b.trailing()
+}
+
+// DecodeRejectWave decodes a RejectWave payload.
+func DecodeRejectWave(p []byte) (RejectWave, error) {
+	b := byteReader{p: p}
+	g, err := b.u64()
+	if err != nil {
+		return RejectWave{}, err
+	}
+	return RejectWave{Granted: int64(g)}, b.trailing()
+}
+
+// DecodeError decodes an Error payload.
+func DecodeError(p []byte) (ErrorFrame, error) {
+	b := byteReader{p: p}
+	code, err := b.u8()
+	if err != nil {
+		return ErrorFrame{}, err
+	}
+	n, err := b.u32()
+	if err != nil {
+		return ErrorFrame{}, err
+	}
+	if int(n) != len(p)-b.off {
+		return ErrorFrame{}, fmt.Errorf("wire: error detail declares %d bytes, payload holds %d: %w",
+			n, len(p)-b.off, ErrShortPayload)
+	}
+	detail := string(p[b.off:])
+	return ErrorFrame{Code: code, Detail: detail}, nil
+}

@@ -216,18 +216,7 @@ func ScenarioByName(name string) (Scenario, error) {
 // buildTopology constructs the initial tree of a scenario.
 func buildTopology(spec TopologySpec, seed int64) (*tree.Tree, error) {
 	tr, _ := tree.New()
-	var err error
-	switch spec.Kind {
-	case "balanced":
-		err = BuildBalanced(tr, spec.Nodes, seed)
-	case "path":
-		err = BuildPath(tr, spec.Nodes)
-	case "star":
-		err = BuildStar(tr, spec.Nodes)
-	default:
-		err = fmt.Errorf("workload: unknown topology %q", spec.Kind)
-	}
-	return tr, err
+	return tr, BuildTopology(tr, spec, seed)
 }
 
 // deepestNode returns the deepest live node, breaking depth ties by the
