@@ -13,13 +13,20 @@
 // The pinned workload is the metered-traffic experiment (E13's event-only
 // mix) over a balanced 256-node tree: 8 concurrent clients submit 2048
 // events each (seed 42) against the distributed unknown-U controller with
-// M = 4× the trace size and W = M/2. Three paths are measured on identical
+// M = 4× the trace size and W = M/2. Four paths are measured on identical
 // traces: the serial Submit loop (inproc), the batched submission pipeline
-// in chunks of 128 requests per client (inproc), and the same chunked
+// in chunks of 128 requests per client (inproc), the same chunked
 // concurrent run driven through cmd/dynctrld's server stack over loopback
-// TCP via the pooled wire client (tcp). A separate pinned churn run (E3's
-// fully-dynamic mix) reports the amortized message complexity per
-// topological change.
+// TCP via the pooled wire client (tcp), and a durability pair at
+// production fan-in — the same total trace spread over 64 connections,
+// once without a WAL (tcp-fanin) and once with the internal/persist
+// durability engine on, WAL group commit plus periodic snapshots
+// (tcp-wal, durability "wal+snap"). Group commit amortizes the fsync
+// across concurrent connections, so the durability comparison is pinned
+// at the fan-in a production daemon actually serves; the report's
+// wal_overhead field is tcp-fanin over tcp-wal throughput. A separate
+// pinned churn run (E3's fully-dynamic mix) reports the amortized message
+// complexity per topological change.
 package main
 
 import (
@@ -49,7 +56,30 @@ const (
 	serialScenario   = "E13-metered-events-serial"
 	pipelineScenario = "E13-metered-events-pipeline"
 	tcpScenario      = "E13-metered-events-wire"
+	tcpFaninScenario = "E13-metered-events-wire-fanin"
+	tcpWalScenario   = "E13-metered-events-wire-wal"
 	churnScenario    = "E3-fully-dynamic-churn"
+
+	// walClients is the connection fan-in of the durability pair; group
+	// commit amortizes one fsync across every connection that decided a
+	// batch inside the commit window.
+	walClients = 64
+	// walStreams is the number of concurrent client streams of the
+	// durability pair, spread over the walClients connections: two
+	// outstanding chunks per connection, so the next wave's controller
+	// work overlaps the previous wave's fsync instead of idling behind it.
+	walStreams = 128
+	// walRounds replays the pinned trace this many times per measured run
+	// of the durability pair: enough group-commit waves that one slow
+	// fsync does not dominate the measurement.
+	walRounds = 4
+	// walSnapshotEvery pins the checkpoint cadence of the tcp-wal run to
+	// the daemon's production default (server.DefaultSnapshotEvery): the
+	// engine runs with snapshots armed, recovery-tested at boot and
+	// checkpointed at shutdown, and a 64k-request measured window
+	// contains as many periodic checkpoints as production would serve in
+	// it (none).
+	walSnapshotEvery = 0
 
 	treeNodes = 256
 	clients   = 8
@@ -115,6 +145,7 @@ func main() {
 		}, rt, nil
 	})
 	serialM.Scenario, serialM.Scheduler, serialM.Transport = serialScenario, *sched, benchfmt.TransportInproc
+	serialM.Durability = benchfmt.DurabilityNone
 	rep.Results["serial"] = serialM
 
 	pipeM := measure(*runs, total, func() (func(), func() int64, func()) {
@@ -131,49 +162,44 @@ func main() {
 		}, rt, nil
 	})
 	pipeM.Scenario, pipeM.Scheduler, pipeM.Transport = pipelineScenario, *sched, benchfmt.TransportInproc
+	pipeM.Durability = benchfmt.DurabilityNone
 	rep.Results["pipeline"] = pipeM
 
 	tcpM := measure(*runs, total, func() (func(), func() int64, func()) {
-		srv, err := server.New(server.Config{
-			Addr:      "127.0.0.1:0",
-			Topology:  workload.TopologySpec{Kind: "balanced", Nodes: treeNodes},
-			Seed:      1,
-			Scheduler: *sched,
-			M:         m,
-			W:         w,
-		})
-		if err != nil {
-			fatalf("tcp server: %v", err)
-		}
-		if err := srv.Start(); err != nil {
-			fatalf("tcp server start: %v", err)
-		}
-		cl, err := client.Dial(srv.Addr(), client.Options{Conns: clients})
-		if err != nil {
-			fatalf("tcp dial: %v", err)
-		}
-		// The identical pinned trace, regenerated over the server's tree
-		// shape (same constructor, same seed).
-		tr := buildBenchTree()
-		ct := buildBenchTrace(tr)
-		cleanup := func() {
-			cl.Close()
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			srv.Shutdown(ctx) //nolint:errcheck
-		}
-		return func() {
-			res := workload.RunConcurrentChunked(cl, ct, chunk)
-			if res.Errors > 0 {
-				fatalf("tcp run: %d request errors", res.Errors)
-			}
-		}, srv.TransportMessages, cleanup
+		return setupTCP(*sched, m, w, clients, clients, 1, "")
 	})
 	tcpM.Scenario, tcpM.Scheduler, tcpM.Transport = tcpScenario, *sched, benchfmt.TransportTCP
+	tcpM.Durability = benchfmt.DurabilityNone
 	rep.Results["tcp"] = tcpM
+
+	// The durability pair replays the trace walRounds times per measured
+	// run, so its permit budget scales accordingly.
+	walM := m * walRounds
+	tcpFaninM := measure(*runs, total*walRounds, func() (func(), func() int64, func()) {
+		return setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, "")
+	})
+	tcpFaninM.Scenario, tcpFaninM.Scheduler, tcpFaninM.Transport = tcpFaninScenario, *sched, benchfmt.TransportTCP
+	tcpFaninM.Durability = benchfmt.DurabilityNone
+	rep.Results["tcp-fanin"] = tcpFaninM
+
+	tcpWalM := measure(*runs, total*walRounds, func() (func(), func() int64, func()) {
+		walDir, err := os.MkdirTemp("", "benchjson-wal-")
+		if err != nil {
+			fatalf("wal dir: %v", err)
+		}
+		run, msgs, cleanup := setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, walDir)
+		return run, msgs, func() {
+			cleanup()
+			os.RemoveAll(walDir)
+		}
+	})
+	tcpWalM.Scenario, tcpWalM.Scheduler, tcpWalM.Transport = tcpWalScenario, *sched, benchfmt.TransportTCP
+	tcpWalM.Durability = benchfmt.DurabilityWALSnap
+	rep.Results["tcp-wal"] = tcpWalM
 
 	rep.PipelineSpeedup = rep.Results["pipeline"].OpsPerSec / rep.Results["serial"].OpsPerSec
 	rep.MessagesPerChange = measureChurnMessages(*sched)
+	rep.Workload["wal_overhead"] = rep.Results["tcp-fanin"].OpsPerSec / rep.Results["tcp-wal"].OpsPerSec
 
 	path := *out
 	if path == "" {
@@ -196,6 +222,53 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: within %.1fx of %s\n", *maxRegress, *compare)
 	}
+}
+
+// setupTCP builds one pinned loopback-TCP measurement: a dynctrld server
+// stack (durable over walDir when non-empty), a pool of conns
+// connections, and the pinned total trace re-partitioned across streams
+// concurrent client streams (same constructor, same seed) and replayed
+// rounds times per measured run.
+func setupTCP(sched string, m, w int64, conns, streams, rounds int, walDir string) (func(), func() int64, func()) {
+	srv, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Topology:      workload.TopologySpec{Kind: "balanced", Nodes: treeNodes},
+		Seed:          1,
+		Scheduler:     sched,
+		M:             m,
+		W:             w,
+		WALDir:        walDir,
+		SnapshotEvery: walSnapshotEvery,
+	})
+	if err != nil {
+		fatalf("tcp server: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		fatalf("tcp server start: %v", err)
+	}
+	cl, err := client.Dial(srv.Addr(), client.Options{Conns: conns})
+	if err != nil {
+		fatalf("tcp dial: %v", err)
+	}
+	tr := buildBenchTree()
+	ct, err := workload.NewConcurrentTrace(tr, streams, clients*perClient/streams, workload.EventOnlyConcurrentMix(), traceSeed)
+	if err != nil {
+		fatalf("build trace: %v", err)
+	}
+	cleanup := func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}
+	return func() {
+		for i := 0; i < rounds; i++ {
+			res := workload.RunConcurrentChunked(cl, ct, chunk)
+			if res.Errors > 0 {
+				fatalf("tcp run: %d request errors", res.Errors)
+			}
+		}
+	}, srv.TransportMessages, cleanup
 }
 
 // benchRuntime builds the pinned transport; the scheduler name was

@@ -14,6 +14,16 @@
 // the same -scenario and -seed reconstructs the identical tree (the wire
 // handshake verifies this via the topology signature).
 //
+// With -wal-dir the daemon is durable: every decided batch is written to
+// the internal/persist write-ahead log (group commit: results are not
+// released until their records are fsynced), the full state is
+// checkpointed every -snapshot-every effects and on graceful shutdown,
+// and a restart recovers the admission state — the (M, W) contract spans
+// incarnations. `dynctrld -wal-dir DIR -verify-wal` audits an existing
+// directory offline: it replays the retained history through the
+// cross-incarnation oracle (no serial reused, granted ≤ M summed across
+// restarts) and exits nonzero on any violation.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully — in-flight batches are
 // answered before the pipeline shuts down — then prints a final accounting
 // line. The exit status is nonzero if paranoid mode recorded any oracle
@@ -30,8 +40,10 @@ import (
 	"syscall"
 	"time"
 
+	"dynctrl/internal/persist"
 	"dynctrl/internal/server"
 	"dynctrl/internal/sim"
+	"dynctrl/internal/wire"
 	"dynctrl/internal/workload"
 )
 
@@ -49,6 +61,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "pipeline combining bound (0 = default)")
 	readBatch := flag.Int("read-batch", 0, "per-connection read-coalescing bound in requests (0 = default)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability and boot-time recovery")
+	snapshotEvery := flag.Int64("snapshot-every", 0, "checkpoint the full state every n logged effects (0 = default, <0 disables)")
+	verifyWAL := flag.Bool("verify-wal", false, "audit -wal-dir with the cross-incarnation oracle and exit")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -63,6 +78,9 @@ func main() {
 		MaxBatch:    *maxBatch,
 		ReadBatch:   *readBatch,
 	}
+	cfg.WALDir = *walDir
+	cfg.SnapshotEvery = *snapshotEvery
+	cfg.Logf = logf
 	if *scenario != "" {
 		sc, err := workload.ScenarioByName(*scenario)
 		if err != nil {
@@ -72,6 +90,37 @@ func main() {
 		cfg.M, cfg.W = sc.M, sc.W
 	}
 
+	if *verifyWAL {
+		if cfg.WALDir == "" {
+			fatalf("-verify-wal requires -wal-dir")
+		}
+		// Audit against the contract the history was actually written
+		// under: the latest snapshot records it. An explicit -m overrides
+		// (for directories that never checkpointed), but a mismatch is
+		// called out rather than silently trusted.
+		mExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "m" {
+				mExplicit = true
+			}
+		})
+		verifyM := cfg.M
+		if st, err := persist.ReadLatestSnapshot(cfg.WALDir); err != nil {
+			fatalf("read snapshot contract: %v", err)
+		} else if st != nil {
+			if mExplicit && st.M != cfg.M {
+				logf("warning: -m %d differs from the snapshot contract M=%d; auditing against -m", cfg.M, st.M)
+			} else {
+				verifyM = st.M
+				logf("auditing against the snapshot contract (M=%d, W=%d)", st.M, st.W)
+			}
+		} else if !mExplicit {
+			logf("warning: no snapshot records the contract; auditing against the default -m %d", cfg.M)
+		}
+		verifyWALDir(cfg.WALDir, verifyM)
+		return
+	}
+
 	s, err := server.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -79,8 +128,8 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatalf("%v", err)
 	}
-	logf("serving wire protocol v1 on %s (M=%d, W=%d, topology %s-%d, paranoid=%v)",
-		s.Addr(), cfg.M, cfg.W, cfg.Topology.Kind, cfg.Topology.Nodes, cfg.Paranoid)
+	logf("serving wire protocol v%d on %s (M=%d, W=%d, topology %s-%d, paranoid=%v, wal=%q, incarnation=%d)",
+		wire.Version, s.Addr(), cfg.M, cfg.W, cfg.Topology.Kind, cfg.Topology.Nodes, cfg.Paranoid, *walDir, s.Incarnation())
 	if s.MetricsAddr() != "" {
 		logf("metrics on http://%s/metricsz", s.MetricsAddr())
 	}
@@ -104,6 +153,30 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// verifyWALDir audits the retained WAL history against the contract and
+// exits: 0 when every cross-incarnation invariant holds, 1 otherwise.
+func verifyWALDir(dir string, m int64) {
+	sums, violations, err := persist.VerifyDir(dir, m)
+	if err != nil {
+		fatalf("verify %s: %v", dir, err)
+	}
+	var granted, rejected int64
+	for _, s := range sums {
+		logf("incarnation %d: granted=%d rejected=%d wal=[%d, %d]",
+			s.Incarnation, s.Granted, s.Rejected, s.FirstIndex, s.LastIndex)
+		granted += s.Granted
+		rejected += s.Rejected
+	}
+	logf("history: %d incarnations, granted=%d (M=%d), rejected=%d", len(sums), granted, m, rejected)
+	if len(violations) != 0 {
+		for _, v := range violations {
+			logf("CROSS-INCARNATION VIOLATION: %v", v)
+		}
+		os.Exit(1)
+	}
+	logf("cross-incarnation invariants hold")
 }
 
 func logf(format string, args ...any) {

@@ -84,8 +84,8 @@ func main() {
 		fatalf("topology signature mismatch: daemon %d, local %d"+
 			" (start loadgen with the daemon's -scenario/-topology/-nodes/-seed)", got, want)
 	}
-	logf("connected to %s: M=%d W=%d, %d conns, trace %d requests (%s)",
-		*addr, cl.M(), cl.W(), *conns, ct.Len(), sc.Name)
+	logf("connected to %s: M=%d W=%d incarnation=%d, %d conns, trace %d requests (%s)",
+		*addr, cl.M(), cl.W(), cl.Incarnation(), *conns, ct.Len(), sc.Name)
 
 	var total workload.ConcurrentResult
 	t0 := time.Now()
@@ -104,6 +104,12 @@ func main() {
 	elapsed := time.Since(t0)
 
 	opsPerSec := float64(total.Submitted) / elapsed.Seconds()
+	// A daemon running without a WAL reports incarnation 0 in the
+	// handshake; anything else is the durability engine.
+	durability := benchfmt.DurabilityNone
+	if cl.Incarnation() > 0 {
+		durability = benchfmt.DurabilityWALSnap
+	}
 	rep := benchfmt.Report{
 		Label:     *label,
 		Schema:    benchfmt.SchemaVersion,
@@ -125,11 +131,12 @@ func main() {
 		},
 		Results: map[string]benchfmt.Measurement{
 			"loadgen": {
-				Scenario:  sc.Name,
-				Scheduler: "remote",
-				Transport: benchfmt.TransportTCP,
-				NsPerOp:   float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
-				OpsPerSec: opsPerSec,
+				Scenario:   sc.Name,
+				Scheduler:  "remote",
+				Transport:  benchfmt.TransportTCP,
+				Durability: durability,
+				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
+				OpsPerSec:  opsPerSec,
 			},
 		},
 	}

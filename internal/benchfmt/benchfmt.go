@@ -16,8 +16,9 @@ import (
 // pinned workloads or the measurement fields, and refresh
 // BENCH_baseline.json. Schema 2 added the scenario/scheduler labels;
 // schema 3 added the transport dimension (inproc vs tcp) when the service
-// boundary landed.
-const SchemaVersion = 3
+// boundary landed; schema 4 added the durability dimension (none | wal |
+// wal+snap) with the write-ahead-log engine.
+const SchemaVersion = 4
 
 // Transports a measurement can run over.
 const (
@@ -27,13 +28,25 @@ const (
 	TransportTCP = "tcp"
 )
 
-// Measurement is one measured submission path. Scenario, Scheduler and
-// Transport pin what ran where, so a baseline comparison can refuse to
-// compare measurements of different runs.
+// Durability modes a measurement can run under.
+const (
+	// DurabilityNone keeps all admission state in memory.
+	DurabilityNone = "none"
+	// DurabilityWAL logs every decided effect to the write-ahead log with
+	// group commit, without automatic checkpoints.
+	DurabilityWAL = "wal"
+	// DurabilityWALSnap is the full engine: WAL plus periodic snapshots.
+	DurabilityWALSnap = "wal+snap"
+)
+
+// Measurement is one measured submission path. Scenario, Scheduler,
+// Transport and Durability pin what ran where, so a baseline comparison
+// can refuse to compare measurements of different runs.
 type Measurement struct {
 	Scenario    string  `json:"scenario"`
 	Scheduler   string  `json:"scheduler"`
 	Transport   string  `json:"transport"`
+	Durability  string  `json:"durability"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -106,10 +119,12 @@ func CompareBaseline(base, cur Report, maxRegress float64, log io.Writer) error 
 		if !ok {
 			return fmt.Errorf("baseline result %q missing from current run", name)
 		}
-		if b.Scenario != c.Scenario || b.Scheduler != c.Scheduler || b.Transport != c.Transport {
-			return fmt.Errorf("%s: baseline measured %s under %s over %s, current run %s under %s over %s:"+
+		if b.Scenario != c.Scenario || b.Scheduler != c.Scheduler ||
+			b.Transport != c.Transport || b.Durability != c.Durability {
+			return fmt.Errorf("%s: baseline measured %s under %s over %s/%s, current run %s under %s over %s/%s:"+
 				" not comparable (rerun with matching flags or refresh the baseline)",
-				name, b.Scenario, b.Scheduler, b.Transport, c.Scenario, c.Scheduler, c.Transport)
+				name, b.Scenario, b.Scheduler, b.Transport, b.Durability,
+				c.Scenario, c.Scheduler, c.Transport, c.Durability)
 		}
 		if b.OpsPerSec <= 0 {
 			continue

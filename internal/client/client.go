@@ -69,8 +69,9 @@ type Client struct {
 	conns []*cliConn
 	next  atomic.Uint64
 
-	m, w    int64
-	topoSig uint64
+	m, w        int64
+	topoSig     uint64
+	incarnation uint64
 
 	waveSeen    atomic.Bool
 	waveGranted atomic.Int64
@@ -96,6 +97,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		}
 		if i == 0 {
 			c.m, c.w, c.topoSig = cc.welcome.M, cc.welcome.W, cc.welcome.TopoSig
+			c.incarnation = cc.welcome.Incarnation
 		}
 		c.conns = append(c.conns, cc)
 	}
@@ -133,6 +135,10 @@ func (c *Client) W() int64 { return c.w }
 // the handshake (compare against workload.TopologySignature of a locally
 // reconstructed tree).
 func (c *Client) TopologySignature() uint64 { return c.topoSig }
+
+// Incarnation returns the server's durability incarnation from the
+// handshake (0 when the server runs without a WAL).
+func (c *Client) Incarnation() uint64 { return c.incarnation }
 
 // RejectWaveSeen reports whether the server has announced the reject wave
 // on any pooled connection.

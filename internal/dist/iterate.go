@@ -141,7 +141,12 @@ func (it *Iterated) Submit(req controller.Request) (controller.Grant, error) {
 
 // submitTrivial implements the trivial tail controller used when W = 0:
 // each remaining permit walks directly from the root to the requesting
-// node, costing its depth in messages.
+// node, costing its depth in messages. The change is applied before any
+// state is consumed: an invalid request (e.g. remove-leaf naming an
+// internal node, which bypasses the core's validation here) must leave
+// the permit budget and the shared counters untouched, or the durability
+// engine — which logs only decided requests — could never reconstruct
+// the state.
 func (it *Iterated) submitTrivial(req controller.Request) (controller.Grant, error) {
 	if it.trivialLeft <= 0 {
 		return it.exhausted()
@@ -150,16 +155,15 @@ func (it *Iterated) submitTrivial(req controller.Request) (controller.Grant, err
 	if err != nil {
 		return controller.Grant{}, err
 	}
-	it.counters.Add(CounterControl, int64(d))
-	it.trivialLeft--
-	it.granted++
-	it.counters.Inc(stats.CounterGrants)
-	g := controller.Grant{Outcome: controller.Granted}
 	newNode, err := applyChange(it.tr, req)
 	if err != nil {
 		return controller.Grant{}, err
 	}
-	g.NewNode = newNode
+	it.counters.Add(CounterControl, int64(d))
+	it.trivialLeft--
+	it.granted++
+	it.counters.Inc(stats.CounterGrants)
+	g := controller.Grant{Outcome: controller.Granted, NewNode: newNode}
 	if req.Kind != tree.None {
 		it.counters.Inc(stats.CounterTopoChanges)
 	}

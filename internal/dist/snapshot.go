@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"dynctrl/internal/pkgstore"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// This file is the distributed controller's state-capture boundary for the
+// durability engine (internal/persist). The whole unknown-U driver stack —
+// Dynamic → Iterated → Core → per-node package stores — is plain
+// sequential state between submissions (the runtime is drained after every
+// request), so a deep copy of the exported *State values plus the tree and
+// the shared counters reconstructs an equivalent controller exactly.
+
+// NodeStoreState pairs one node with its captured whiteboard contents.
+type NodeStoreState struct {
+	Node  tree.NodeID
+	Store pkgstore.StoreState
+}
+
+// CoreState is the captured state of a fixed-U Core.
+type CoreState struct {
+	// U, M, W are the constructor parameters (already clamped by
+	// pkgstore.NewParams, which is idempotent, so re-deriving φ/ψ from them
+	// reproduces the original parameters bit for bit).
+	U, M, W int64
+
+	Storage            int64
+	SerialLo, SerialHi int64
+	Granted, Rejected  int64
+	NoRejects          bool
+	RejectWave         bool
+
+	// Stores lists every node whiteboard in ascending node order.
+	Stores []NodeStoreState
+}
+
+// IteratedState is the captured state of the waste-halving driver.
+type IteratedState struct {
+	U, W        int64
+	CurM        int64
+	Iterations  int
+	FinalPhase  bool
+	Terminating bool
+
+	TrivialPhase bool
+	TrivialLeft  int64
+
+	Terminated bool
+	RejectAll  bool
+	Granted    int64
+
+	Core CoreState
+}
+
+// DynamicState is the captured state of the unknown-U driver — the root of
+// the controller snapshot the durability engine persists.
+type DynamicState struct {
+	W           int64
+	Mi          int64
+	Ui          int64
+	Zi          int64
+	GrantedBase int64
+	Iterations  int
+	Terminating bool
+	Terminated  bool
+	RejectAll   bool
+
+	Inner IteratedState
+}
+
+// State captures the core's complete state. Must not be called while a
+// submission is in flight (the runtime is drained between requests, which
+// is the only time the durability engine snapshots).
+func (c *Core) State() CoreState {
+	st := CoreState{
+		U:          c.params.U,
+		M:          c.params.M,
+		W:          c.params.W,
+		Storage:    c.storage,
+		SerialLo:   c.serials.Lo,
+		SerialHi:   c.serials.Hi,
+		Granted:    c.granted,
+		Rejected:   c.rejected,
+		NoRejects:  c.noRejects,
+		RejectWave: c.rejectWave,
+	}
+	ids := make([]tree.NodeID, 0, len(c.stores))
+	for id := range c.stores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.Stores = append(st.Stores, NodeStoreState{Node: id, Store: c.stores[id].State()})
+	}
+	return st
+}
+
+// restoreCore rebuilds a Core from captured state over tr and rt.
+func restoreCore(tr *tree.Tree, rt sim.Runtime, st CoreState, counters *stats.Counters) (*Core, error) {
+	c := &Core{
+		tr:         tr,
+		rt:         rt,
+		params:     pkgstore.NewParams(st.U, st.M, st.W),
+		stores:     make(map[tree.NodeID]*pkgstore.Store, len(st.Stores)),
+		storage:    st.Storage,
+		serials:    pkgstore.Interval{Lo: st.SerialLo, Hi: st.SerialHi},
+		counters:   counters,
+		noRejects:  st.NoRejects,
+		rejectWave: st.RejectWave,
+		granted:    st.Granted,
+		rejected:   st.Rejected,
+	}
+	for _, ns := range st.Stores {
+		s, err := pkgstore.RestoreStore(ns.Store)
+		if err != nil {
+			return nil, fmt.Errorf("dist: restore store of node %d: %w", ns.Node, err)
+		}
+		c.stores[ns.Node] = s
+	}
+	return c, nil
+}
+
+// State captures the waste-halving driver's complete state.
+func (it *Iterated) State() IteratedState {
+	return IteratedState{
+		U:            it.u,
+		W:            it.w,
+		CurM:         it.curM,
+		Iterations:   it.iterations,
+		FinalPhase:   it.finalPhase,
+		Terminating:  it.terminating,
+		TrivialPhase: it.trivialPhase,
+		TrivialLeft:  it.trivialLeft,
+		Terminated:   it.terminated,
+		RejectAll:    it.rejectAll,
+		Granted:      it.granted,
+		Core:         it.cur.State(),
+	}
+}
+
+func restoreIterated(tr *tree.Tree, rt sim.Runtime, st IteratedState, counters *stats.Counters) (*Iterated, error) {
+	cur, err := restoreCore(tr, rt, st.Core, counters)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterated{
+		tr:           tr,
+		rt:           rt,
+		u:            st.U,
+		w:            st.W,
+		counters:     counters,
+		terminating:  st.Terminating,
+		cur:          cur,
+		curM:         st.CurM,
+		iterations:   st.Iterations,
+		finalPhase:   st.FinalPhase,
+		trivialPhase: st.TrivialPhase,
+		trivialLeft:  st.TrivialLeft,
+		terminated:   st.Terminated,
+		rejectAll:    st.RejectAll,
+		granted:      st.Granted,
+	}, nil
+}
+
+// State captures the unknown-U driver's complete state. Must not be called
+// while a submission is in flight.
+func (d *Dynamic) State() *DynamicState {
+	return &DynamicState{
+		W:           d.w,
+		Mi:          d.mi,
+		Ui:          d.ui,
+		Zi:          d.zi,
+		GrantedBase: d.grantedBase,
+		Iterations:  d.iterations,
+		Terminating: d.terminating,
+		Terminated:  d.terminated,
+		RejectAll:   d.rejectAll,
+		Inner:       d.inner.State(),
+	}
+}
+
+// RestoreDynamic rebuilds an unknown-U controller from captured state over
+// tr, moving messages through rt and accounting into counters. The caller
+// restores tr and counters to their captured states first; the returned
+// controller then continues exactly where the captured one stopped.
+func RestoreDynamic(tr *tree.Tree, rt sim.Runtime, st *DynamicState, counters *stats.Counters) (*Dynamic, error) {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	inner, err := restoreIterated(tr, rt, st.Inner, counters)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{
+		tr:          tr,
+		rt:          rt,
+		w:           st.W,
+		counters:    counters,
+		terminating: st.Terminating,
+		terminated:  st.Terminated,
+		rejectAll:   st.RejectAll,
+		inner:       inner,
+		mi:          st.Mi,
+		ui:          st.Ui,
+		zi:          st.Zi,
+		grantedBase: st.GrantedBase,
+		iterations:  st.Iterations,
+	}, nil
+}

@@ -1,0 +1,81 @@
+package oracle
+
+import "fmt"
+
+// Cross-incarnation invariant checks: the durability engine (internal/
+// persist) makes the (M,W) contract span process restarts, so the oracle
+// suite gains a checker that works over the whole retained effect history
+// — one summary per incarnation — instead of a single live run:
+//
+//   - xinc-safety-counter: permits granted summed across every incarnation
+//     never exceed M (a restart must not refill the permit budget).
+//   - xinc-serial-unique / xinc-serial-range: explicit serials are fresh
+//     across incarnations, not just within one (a recovered allocator must
+//     continue, never rewind), and lie in [1, M].
+//   - xinc-monotonic: incarnation numbers strictly increase and the WAL
+//     index ranges of successive incarnations never overlap — overlapping
+//     ranges mean two processes wrote the same log (a forked history).
+
+// IncarnationSummary condenses one incarnation's effect history for the
+// cross-incarnation checks. internal/persist produces these from the WAL.
+type IncarnationSummary struct {
+	Incarnation uint64 `json:"incarnation"`
+	Granted     int64  `json:"granted"`
+	Rejected    int64  `json:"rejected"`
+	// Serials lists every explicit (non-zero) serial granted.
+	Serials []int64 `json:"serials,omitempty"`
+	// FirstIndex/LastIndex bound the WAL indices this incarnation wrote
+	// (0/0 when it wrote none).
+	FirstIndex uint64 `json:"first_index,omitempty"`
+	LastIndex  uint64 `json:"last_index,omitempty"`
+}
+
+// CheckCrossIncarnations verifies the restart-spanning invariants over the
+// given per-incarnation summaries (in log order) against the permit bound
+// m. It returns every violation found; Request fields are -1 (the checks
+// are end-of-history, not tied to one submission).
+func CheckCrossIncarnations(m int64, incs []IncarnationSummary) []Violation {
+	var violations []Violation
+	report := func(invariant, format string, args ...any) {
+		violations = append(violations, Violation{Invariant: invariant, Request: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+
+	var granted int64
+	seen := make(map[int64]uint64, 64) // serial -> incarnation that granted it
+	var prev *IncarnationSummary
+	for i := range incs {
+		inc := &incs[i]
+		granted += inc.Granted
+		if prev != nil {
+			if inc.Incarnation <= prev.Incarnation {
+				report("xinc-monotonic",
+					"incarnation %d follows %d in the log", inc.Incarnation, prev.Incarnation)
+			}
+			if inc.FirstIndex != 0 && prev.LastIndex != 0 && inc.FirstIndex <= prev.LastIndex {
+				report("xinc-monotonic",
+					"incarnation %d starts at WAL index %d, incarnation %d already wrote through %d (forked history)",
+					inc.Incarnation, inc.FirstIndex, prev.Incarnation, prev.LastIndex)
+			}
+		}
+		for _, serial := range inc.Serials {
+			if serial < 1 || serial > m {
+				report("xinc-serial-range",
+					"incarnation %d granted serial %d outside [1, M=%d]", inc.Incarnation, serial, m)
+			}
+			if by, dup := seen[serial]; dup {
+				report("xinc-serial-unique",
+					"serial %d granted by incarnation %d and again by incarnation %d",
+					serial, by, inc.Incarnation)
+			} else {
+				seen[serial] = inc.Incarnation
+			}
+		}
+		prev = inc
+	}
+	if granted > m {
+		report("xinc-safety-counter",
+			"%d permits granted across %d incarnations, contract allows M=%d", granted, len(incs), m)
+	}
+	return violations
+}

@@ -87,6 +87,21 @@ func WithValidateEvery(k int) Option {
 	return func(o *Oracle) { o.validateEvery = k }
 }
 
+// WithBaseline seeds the oracle with the grant/reject totals and granted
+// serials of earlier incarnations, so an oracle wrapped around a recovered
+// controller keeps checking the (M,W) contract across the restart: the
+// safety counter continues from the recovered grant count instead of
+// resetting, and serial uniqueness spans incarnations.
+func WithBaseline(granted, rejected int64, serials []int64) Option {
+	return func(o *Oracle) {
+		o.granted += granted
+		o.rejected += rejected
+		for _, s := range serials {
+			o.seenSerials[s] = struct{}{}
+		}
+	}
+}
+
 // WithBudgetAttempts scales the message budget for drivers that may run
 // several protocol attempts per submission (the iterated waste-halving
 // stack retries after an exhausted iteration). The default assumes up to

@@ -1,0 +1,9 @@
+package persist
+
+// SetSealBytesForTests shrinks the block seal threshold so tests can force
+// multi-block waves without gigabyte buffers. It returns a restore func.
+func SetSealBytesForTests(n int) (restore func()) {
+	old := sealBytes
+	sealBytes = n
+	return func() { sealBytes = old }
+}

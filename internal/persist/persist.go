@@ -1,0 +1,697 @@
+// Package persist is the durability engine of the dynctrld admission
+// stack: a length-prefixed, checksummed write-ahead log of controller
+// effects (grants, rejects, topology changes, reject-wave completions)
+// plus periodic snapshots of the full tree + dist.Dynamic + serial
+// allocator state.
+//
+// # Write path
+//
+// Effects are appended in controller execution order and become durable via
+// group commit: appends only encode into an in-memory buffer and return a
+// ticket (the last appended WAL index); a single background syncer flushes
+// the buffer to the active segment and fsyncs once per wakeup, covering
+// every batch appended since the previous fsync. Callers that must not
+// release a result before it is durable block in WaitDurable(ticket) — the
+// dynctrld server does exactly that between running a SubmitMany batch
+// through the controller and writing its Results frame, so the pipeline
+// keeps combining batches while earlier batches ride out their fsync (at
+// most one fsync per SubmitMany run, usually far fewer).
+//
+// # Recovery
+//
+// Open scans the directory: the latest structurally valid snapshot is
+// decoded, segments are scanned in order, a torn final record (a crash mid
+// write) is truncated, and every effect after the snapshot's index is
+// returned for replay. Replay re-submits the logged requests through a
+// freshly restored controller and verifies each verdict matches the log —
+// the controller stack is deterministic given its state and the request
+// sequence, so recovery either reproduces the pre-crash state exactly or
+// fails loudly. Each Open bumps the incarnation counter in MANIFEST; the
+// cross-incarnation oracle checks (no serial reused, granted ≤ M summed
+// across restarts) run over the whole retained record history.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynctrl/internal/controller"
+)
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("persist: engine closed")
+
+// DefaultSegmentBytes is the segment rotation threshold.
+const DefaultSegmentBytes = 8 << 20
+
+// sealBytes bounds the packed payload of one block (half of MaxBlockLen,
+// so a sealed wave can never approach the reader's rejection threshold).
+// A variable only so the block-splitting test can shrink it.
+var sealBytes = MaxBlockLen / 2
+
+// Options configures an Engine.
+type Options struct {
+	// SnapshotEvery asks ShouldCheckpoint to fire every n effect records
+	// (0 disables automatic checkpoints; Checkpoint can still be called
+	// explicitly).
+	SnapshotEvery int64
+	// SegmentBytes is the rotation threshold of the active segment
+	// (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// CommitWindow is how long the group-commit syncer waits after picking
+	// up a batch for more batches to pile in before it fsyncs (0 = fsync
+	// immediately). A window around the fsync latency roughly halves the
+	// fsyncs per decided batch under concurrent load at the cost of that
+	// much added commit latency.
+	CommitWindow time.Duration
+	// Logf, when set, receives recovery warnings (torn tails truncated,
+	// corrupt snapshots skipped).
+	Logf func(format string, args ...any)
+}
+
+// Recovery reports what Open reconstructed from the directory.
+type Recovery struct {
+	// Snapshot is the latest valid snapshot (nil when booting fresh).
+	Snapshot *State
+	// Tail holds the records to replay on top of the snapshot, in log
+	// order (effects and wave markers).
+	Tail []Record
+	// TruncatedBytes counts torn-tail bytes dropped from the final
+	// segment.
+	TruncatedBytes int64
+	// CorruptSnapshots counts snapshot files that failed to decode and
+	// were skipped.
+	CorruptSnapshots int
+}
+
+// Stats is a point-in-time sample of the engine's activity counters.
+type Stats struct {
+	Incarnation       uint64
+	AppendedRecords   int64
+	AppendedIndex     uint64
+	DurableIndex      uint64
+	Fsyncs            int64
+	BytesWritten      int64
+	Segments          int64
+	Snapshots         int64
+	LastSnapshotIndex uint64
+}
+
+// Engine is a live WAL directory: one process appends, syncs and
+// checkpoints at a time. It is safe for concurrent use.
+type Engine struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	appendCond  *sync.Cond // wakes the syncer
+	durableCond *sync.Cond // wakes WaitDurable callers
+	buf         []byte     // packed records not yet handed to the syncer
+	bufFirst    uint64     // WAL index of the first record in buf
+	bufCount    int        // records in buf
+	// sealOffs/sealCounts mark byte offsets (and cumulative record counts)
+	// where buf must split into separate blocks, so an fsync-stall backlog
+	// never produces a block the reader would reject as oversized.
+	sealOffs   []int
+	sealCounts []int
+	free       []byte // recycled append buffer
+	nextIndex  uint64
+	appended   uint64 // last index encoded into buf or flushed
+	durable    uint64 // last index fsynced
+	syncErr    error  // sticky write/fsync failure
+	closed     bool
+	abandoned  bool
+	snapBusy   bool
+	sinceSnap  int64
+	stats      Stats
+
+	// The active segment file is owned by the syncer goroutine after Open
+	// (the checkpoint path never touches it).
+	f        *os.File
+	fileSize int64
+
+	wg sync.WaitGroup
+}
+
+// Open recovers the WAL directory (creating it if needed), bumps the
+// incarnation, opens a fresh active segment and starts the group-commit
+// syncer. The returned Recovery carries the snapshot + record tail the
+// caller must replay before submitting new work.
+func Open(dir string, opts Options) (*Engine, *Recovery, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	rec, lastIndex, maxSeq, err := recoverDir(dir, opts.Logf)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	inc, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	inc++
+	if err := writeManifest(dir, inc); err != nil {
+		return nil, nil, err
+	}
+
+	e := &Engine{
+		dir:       dir,
+		opts:      opts,
+		nextIndex: lastIndex + 1,
+		appended:  lastIndex,
+		durable:   lastIndex,
+	}
+	e.appendCond = sync.NewCond(&e.mu)
+	e.durableCond = sync.NewCond(&e.mu)
+	e.stats.Incarnation = inc
+	if rec.Snapshot != nil {
+		e.stats.LastSnapshotIndex = rec.Snapshot.Index
+	}
+
+	// A fresh segment per incarnation: old segments are never appended to,
+	// so their contents stay attributable to the incarnation that wrote
+	// them.
+	hdr := appendSegmentHeader(nil, inc, e.nextIndex)
+	f, err := os.OpenFile(segmentPath(dir, maxSeq+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	e.f = f
+	e.fileSize = int64(len(hdr))
+	e.stats.Segments = int64(maxSeq + 1)
+
+	e.wg.Add(1)
+	go e.syncLoop()
+	return e, rec, nil
+}
+
+// recoverDir scans snapshots and segments, truncating a torn tail in the
+// final segment. It returns the recovery report, the highest WAL index on
+// disk, and the highest segment sequence number.
+func recoverDir(dir string, logf func(string, ...any)) (*Recovery, uint64, uint64, error) {
+	rec := &Recovery{}
+
+	if err := loadLatestSnapshot(dir, rec, logf); err != nil {
+		return nil, 0, 0, err
+	}
+
+	scans, tornBytes, maxSeq, err := scanSegments(dir, true, logf)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rec.TruncatedBytes = tornBytes
+
+	snapIndex := uint64(0)
+	if rec.Snapshot != nil {
+		snapIndex = rec.Snapshot.Index
+	}
+	lastIndex := snapIndex
+	for _, sr := range scans {
+		for _, r := range sr.records {
+			if r.Index != lastIndex+1 && r.Index > snapIndex {
+				return nil, 0, 0, fmt.Errorf("persist: WAL index gap: record %d follows %d in %s",
+					r.Index, lastIndex, segmentPath(dir, sr.seq))
+			}
+			if r.Index > snapIndex {
+				lastIndex = r.Index
+				rec.Tail = append(rec.Tail, r)
+			}
+		}
+	}
+	return rec, lastIndex, maxSeq, nil
+}
+
+// loadLatestSnapshot fills rec.Snapshot with the newest structurally
+// valid snapshot in dir. Corrupt ones are skipped (counted in rec) so a
+// crash mid-checkpoint (or bit rot) degrades to the previous snapshot
+// plus a longer replay, never to a failed boot.
+func loadLatestSnapshot(dir string, rec *Recovery, logf func(string, ...any)) error {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		buf, err := os.ReadFile(snapshotPath(dir, snaps[i]))
+		if err != nil {
+			return err
+		}
+		st, err := DecodeSnapshot(buf)
+		if err != nil {
+			rec.CorruptSnapshots++
+			logf("persist: skipping corrupt snapshot %s: %v", snapshotPath(dir, snaps[i]), err)
+			continue
+		}
+		if st.Index != snaps[i] {
+			rec.CorruptSnapshots++
+			logf("persist: snapshot %s covers index %d, name says %d; skipping",
+				snapshotPath(dir, snaps[i]), st.Index, snaps[i])
+			continue
+		}
+		rec.Snapshot = st
+		break
+	}
+	return nil
+}
+
+// ReadLatestSnapshot returns the newest structurally valid snapshot in
+// dir without opening the directory for writing (nil when none exists) —
+// the offline audit uses it to learn the contract the history was written
+// under.
+func ReadLatestSnapshot(dir string) (*State, error) {
+	rec := &Recovery{}
+	if err := loadLatestSnapshot(dir, rec, func(string, ...any) {}); err != nil {
+		return nil, err
+	}
+	return rec.Snapshot, nil
+}
+
+// Dir returns the engine's directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Incarnation returns this boot's incarnation number (1 on first boot).
+func (e *Engine) Incarnation() uint64 { return e.stats.Incarnation }
+
+// AppendedIndex returns the index of the last record appended (durable or
+// not).
+func (e *Engine) AppendedIndex() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appended
+}
+
+// StatsSnapshot samples the engine's activity counters.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.AppendedIndex = e.appended
+	st.DurableIndex = e.durable
+	return st
+}
+
+// AppendEffects encodes one decided batch into the log buffer: one effect
+// record per non-error result, in order. It returns the group-commit
+// ticket — pass it to WaitDurable before releasing the batch's results to
+// any client. Errored results mutate no controller state and are skipped.
+func (e *Engine) AppendEffects(reqs []controller.Request, results []controller.BatchResult) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	if e.syncErr != nil {
+		return 0, e.syncErr
+	}
+	appended := false
+	for i, br := range results {
+		if br.Err != nil {
+			continue
+		}
+		if e.bufCount == 0 {
+			e.bufFirst = e.nextIndex
+		}
+		e.buf = AppendPackedRecord(e.buf, Record{
+			Type:    RecEffect,
+			Node:    reqs[i].Node,
+			Kind:    reqs[i].Kind,
+			Child:   reqs[i].Child,
+			Outcome: br.Grant.Outcome,
+			Serial:  br.Grant.Serial,
+			NewNode: br.Grant.NewNode,
+		})
+		e.bufCount++
+		e.nextIndex++
+		e.stats.AppendedRecords++
+		e.sinceSnap++
+		e.maybeSeal()
+		appended = true
+	}
+	if appended {
+		e.appended = e.nextIndex - 1
+		e.appendCond.Signal()
+	}
+	return e.appended, nil
+}
+
+// AppendWave logs a reject-wave completion marker.
+func (e *Engine) AppendWave(granted int64) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	if e.syncErr != nil {
+		return 0, e.syncErr
+	}
+	if e.bufCount == 0 {
+		e.bufFirst = e.nextIndex
+	}
+	e.buf = AppendPackedRecord(e.buf, Record{Type: RecWave, Granted: granted})
+	e.bufCount++
+	e.appended = e.nextIndex
+	e.nextIndex++
+	e.stats.AppendedRecords++
+	e.maybeSeal()
+	e.appendCond.Signal()
+	return e.appended, nil
+}
+
+// maybeSeal marks a block boundary when the unsealed tail of buf reaches
+// sealBytes. Called with mu held after every append.
+func (e *Engine) maybeSeal() {
+	lastOff := 0
+	if n := len(e.sealOffs); n > 0 {
+		lastOff = e.sealOffs[n-1]
+	}
+	if len(e.buf)-lastOff >= sealBytes {
+		e.sealOffs = append(e.sealOffs, len(e.buf))
+		e.sealCounts = append(e.sealCounts, e.bufCount)
+	}
+}
+
+// WaitDurable blocks until every record up to ticket is fsynced (or the
+// engine failed/closed). A zero ticket returns immediately.
+func (e *Engine) WaitDurable(ticket uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.durable < ticket {
+		if e.syncErr != nil {
+			return e.syncErr
+		}
+		if e.closed {
+			return ErrClosed
+		}
+		e.durableCond.Wait()
+	}
+	return e.syncErr
+}
+
+// CommitEffects is AppendEffects + WaitDurable: the synchronous write path
+// used by serial drivers (the scenario engine), one fsync window per call.
+func (e *Engine) CommitEffects(reqs []controller.Request, results []controller.BatchResult) error {
+	ticket, err := e.AppendEffects(reqs, results)
+	if err != nil {
+		return err
+	}
+	return e.WaitDurable(ticket)
+}
+
+// syncLoop is the group-commit syncer: it owns the active segment file.
+// Each wakeup steals every packed record appended since the last fsync,
+// frames them as one block (one length + one CRC per wave), writes it and
+// fsyncs once — the fsync, the framing overhead and the checksum are all
+// amortized over the wave.
+func (e *Engine) syncLoop() {
+	defer e.wg.Done()
+	var block []byte // syncer-owned frame scratch
+	for {
+		e.mu.Lock()
+		for len(e.buf) == 0 && !e.closed {
+			e.appendCond.Wait()
+		}
+		if len(e.buf) == 0 || e.abandoned {
+			// Closed with nothing (allowed to be) flushed: Abandon drops
+			// buffered records deliberately — that is the kill -9 model.
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		packed := e.buf
+		first := e.bufFirst
+		count := e.bufCount
+		target := e.appended
+		sealOffs := e.sealOffs
+		sealCounts := e.sealCounts
+		e.buf = e.free[:0]
+		e.free = nil
+		e.bufCount = 0
+		e.sealOffs = nil
+		e.sealCounts = nil
+		e.mu.Unlock()
+
+		// Group-commit window: batches decided while an fsync is in flight
+		// coalesce naturally, but a batch decided just *after* a sync wave
+		// started would otherwise get a whole fsync to itself. Yield the
+		// scheduler until appends go quiet (or the window expires) so the
+		// pipeline can finish deciding the batches already racing toward
+		// the log and one fsync covers them all. Yielding instead of
+		// sleeping matters: timer wakeups have ~millisecond granularity
+		// under load, several times the fsync itself.
+		if e.opts.CommitWindow > 0 {
+			deadline := time.Now().Add(e.opts.CommitWindow)
+			last, idle := count, 0
+			for idle < 4 && time.Now().Before(deadline) {
+				runtime.Gosched()
+				e.mu.Lock()
+				cur := count + e.bufCount
+				e.mu.Unlock()
+				if cur == last {
+					idle++
+				} else {
+					last, idle = cur, 0
+				}
+			}
+			e.mu.Lock()
+			if len(e.buf) > 0 {
+				base, baseCount := len(packed), count
+				for i, off := range e.sealOffs {
+					sealOffs = append(sealOffs, off+base)
+					sealCounts = append(sealCounts, e.sealCounts[i]+baseCount)
+				}
+				packed = append(packed, e.buf...)
+				count += e.bufCount
+				target = e.appended
+				e.buf = e.buf[:0]
+				e.bufCount = 0
+				e.sealOffs = e.sealOffs[:0]
+				e.sealCounts = e.sealCounts[:0]
+			}
+			e.mu.Unlock()
+		}
+
+		// Frame the wave: one block per sealed span (so no block ever
+		// exceeds the reader's size bound) plus the unsealed remainder,
+		// all covered by the single fsync below.
+		block = block[:0]
+		prevOff, prevCount := 0, 0
+		for i, off := range sealOffs {
+			block = AppendBlock(block, first+uint64(prevCount), sealCounts[i]-prevCount, packed[prevOff:off])
+			prevOff, prevCount = off, sealCounts[i]
+		}
+		if prevOff < len(packed) {
+			block = AppendBlock(block, first+uint64(prevCount), count-prevCount, packed[prevOff:])
+		}
+		err := e.writeBatch(block, target)
+
+		e.mu.Lock()
+		if err != nil {
+			e.syncErr = err
+		} else {
+			e.durable = target
+			e.stats.Fsyncs++
+			e.stats.BytesWritten += int64(len(block))
+		}
+		e.free = packed[:0]
+		e.durableCond.Broadcast()
+		closed := e.closed
+		empty := len(e.buf) == 0
+		e.mu.Unlock()
+		if closed && (empty || err != nil) {
+			return
+		}
+	}
+}
+
+// writeBatch appends the encoded records to the active segment, fsyncs,
+// and rotates to a fresh segment when the size threshold is crossed;
+// flushed names the last index in batch, so the new segment's header can
+// name the index it starts at. Runs on the syncer goroutine only.
+func (e *Engine) writeBatch(batch []byte, flushed uint64) error {
+	if _, err := e.f.Write(batch); err != nil {
+		return err
+	}
+	if err := datasync(e.f); err != nil {
+		return err
+	}
+	e.fileSize += int64(len(batch))
+	if e.fileSize < e.opts.SegmentBytes {
+		return nil
+	}
+	first := flushed + 1
+	e.mu.Lock()
+	inc := e.stats.Incarnation
+	seq := uint64(e.stats.Segments) + 1
+	e.stats.Segments = int64(seq)
+	e.mu.Unlock()
+	if err := e.f.Close(); err != nil {
+		return err
+	}
+	hdr := appendSegmentHeader(nil, inc, first)
+	f, err := os.OpenFile(segmentPath(e.dir, seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(e.dir); err != nil {
+		f.Close()
+		return err
+	}
+	e.f = f
+	e.fileSize = int64(len(hdr))
+	return nil
+}
+
+// ShouldCheckpoint reports whether enough effects accumulated since the
+// last snapshot and no checkpoint is in flight. A true return reserves the
+// checkpoint slot — the caller must follow up with Checkpoint or
+// CheckpointAsync (or the slot stays reserved).
+func (e *Engine) ShouldCheckpoint() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.snapBusy || e.opts.SnapshotEvery <= 0 || e.sinceSnap < e.opts.SnapshotEvery {
+		return false
+	}
+	e.snapBusy = true
+	e.sinceSnap = 0
+	return true
+}
+
+// CheckpointAsync encodes and writes the captured state in the background.
+// The capture itself must already be a deep copy (tree.Snapshot and
+// dist.State copy); the engine only serializes it. Close waits for
+// in-flight checkpoints.
+func (e *Engine) CheckpointAsync(st *State) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		if err := e.writeSnapshot(st); err != nil {
+			e.opts.Logf("persist: checkpoint at index %d failed: %v", st.Index, err)
+		}
+		e.mu.Lock()
+		e.snapBusy = false
+		e.mu.Unlock()
+	}()
+}
+
+// Checkpoint synchronously writes a snapshot of the captured state. Unlike
+// CheckpointAsync it does not require a ShouldCheckpoint reservation.
+func (e *Engine) Checkpoint(st *State) error {
+	err := e.writeSnapshot(st)
+	e.mu.Lock()
+	e.snapBusy = false
+	e.mu.Unlock()
+	return err
+}
+
+func (e *Engine) writeSnapshot(st *State) error {
+	e.mu.Lock()
+	if e.abandoned {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	buf := AppendState(nil, st)
+	if err := writeFileAtomic(snapshotPath(e.dir, st.Index), buf); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.stats.Snapshots++
+	if st.Index > e.stats.LastSnapshotIndex {
+		e.stats.LastSnapshotIndex = st.Index
+	}
+	e.mu.Unlock()
+	// Retire everything but the two newest snapshots: the newest serves
+	// recovery, the runner-up survives a corrupt newest. Segments are
+	// retained in full — the cross-incarnation verifier reads the whole
+	// effect history.
+	snaps, err := listSnapshots(e.dir)
+	if err != nil {
+		return nil //nolint:nilerr // GC failure is not a checkpoint failure
+	}
+	for i := 0; i+2 < len(snaps); i++ {
+		os.Remove(snapshotPath(e.dir, snaps[i]))
+	}
+	return nil
+}
+
+// Close flushes buffered records, waits for the syncer and any in-flight
+// checkpoint, and closes the active segment. Idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	e.appendCond.Signal()
+	e.durableCond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+	var err error
+	if e.f != nil {
+		err = e.f.Close()
+		e.f = nil
+	}
+	return err
+}
+
+// Abandon simulates a crash: buffered, un-fsynced records are dropped and
+// the files are closed as-is — exactly the state a kill -9 leaves behind
+// (modulo the kernel page cache). The scenario engine's crash-restart
+// faults use it; production code calls Close.
+func (e *Engine) Abandon() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.abandoned = true
+	e.closed = true
+	e.buf = nil
+	e.bufCount = 0
+	e.sealOffs, e.sealCounts = nil, nil
+	e.appendCond.Signal()
+	e.durableCond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+	if e.f != nil {
+		e.f.Close()
+		e.f = nil
+	}
+}

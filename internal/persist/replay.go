@@ -1,0 +1,138 @@
+package persist
+
+import (
+	"fmt"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/dist"
+	"dynctrl/internal/oracle"
+	"dynctrl/internal/sim"
+	"dynctrl/internal/stats"
+	"dynctrl/internal/tree"
+)
+
+// RestoreInto applies a recovered snapshot to a live stack: the tree is
+// restored in place (so generators, servers and oracles holding the *Tree
+// observe the recovered topology), the shared counters are re-seeded, and
+// a controller equivalent to the captured one is rebuilt over the given
+// runtime. The runtime's schedule seed need not match the crashed
+// process's: the controller's verdicts are delivery-schedule invariant
+// (the schedule-invariance property the scenario suite pins), which is
+// what makes replay deterministic without persisting transport state.
+func RestoreInto(st *State, tr *tree.Tree, rt sim.Runtime, counters *stats.Counters) (*dist.Dynamic, error) {
+	if st.Tree == nil || st.Ctl == nil {
+		return nil, fmt.Errorf("persist: snapshot missing tree or controller state")
+	}
+	if err := tr.Restore(st.Tree); err != nil {
+		return nil, fmt.Errorf("persist: restore tree: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: restored tree invalid: %w", err)
+	}
+	if counters != nil {
+		counters.Restore(st.Counters)
+	}
+	ctl, err := dist.RestoreDynamic(tr, rt, st.Ctl, counters)
+	if err != nil {
+		return nil, fmt.Errorf("persist: restore controller: %w", err)
+	}
+	return ctl, nil
+}
+
+// Replay re-submits the tail's effect records through sub in log order and
+// verifies every verdict — outcome, serial and created node id — matches
+// what the log recorded. The controller is deterministic given its state
+// and the request sequence, so any mismatch means the snapshot, the log
+// and the code disagree, and recovery must fail rather than continue from
+// a state that has silently diverged. It returns the number of effects
+// applied.
+func Replay(tail []Record, sub oracle.Target) (int, error) {
+	applied := 0
+	for _, r := range tail {
+		if r.Type != RecEffect {
+			continue
+		}
+		g, err := sub.Submit(r.Request())
+		if err != nil {
+			return applied, fmt.Errorf("persist: replay index %d (%v at node %d): %w",
+				r.Index, r.Kind, r.Node, err)
+		}
+		if g.Outcome != r.Outcome || g.Serial != r.Serial || g.NewNode != r.NewNode {
+			return applied, fmt.Errorf("persist: replay diverged at index %d: log says %v/serial %d/node %d, controller answered %v/serial %d/node %d",
+				r.Index, r.Outcome, r.Serial, r.NewNode, g.Outcome, g.Serial, g.NewNode)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// IncarnationEffects is the record history one incarnation wrote.
+type IncarnationEffects struct {
+	Incarnation uint64
+	Records     []Record
+}
+
+// ReadHistory scans every segment in dir and returns the full record
+// history grouped by the incarnation that wrote it, in log order. It
+// applies the same crash-artifact policy as boot recovery (shared
+// scanSegments: headerless segments skipped, a torn tail in the final
+// segment tolerated — though the audit never truncates on disk,
+// corruption anywhere else refused), so the audit and recovery can never
+// accept different histories.
+func ReadHistory(dir string) ([]IncarnationEffects, error) {
+	scans, _, _, err := scanSegments(dir, false, func(string, ...any) {})
+	if err != nil {
+		return nil, err
+	}
+	var out []IncarnationEffects
+	for _, sr := range scans {
+		if len(out) == 0 || out[len(out)-1].Incarnation != sr.incarnation {
+			out = append(out, IncarnationEffects{Incarnation: sr.incarnation})
+		}
+		last := &out[len(out)-1]
+		last.Records = append(last.Records, sr.records...)
+	}
+	return out, nil
+}
+
+// Summaries projects a record history onto the oracle's cross-incarnation
+// vocabulary: per incarnation, the grant/reject totals, every explicit
+// serial granted, and the covered WAL index range.
+func Summaries(history []IncarnationEffects) []oracle.IncarnationSummary {
+	out := make([]oracle.IncarnationSummary, 0, len(history))
+	for _, inc := range history {
+		s := oracle.IncarnationSummary{Incarnation: inc.Incarnation}
+		for _, r := range inc.Records {
+			if s.FirstIndex == 0 && r.Index > 0 {
+				s.FirstIndex = r.Index
+			}
+			s.LastIndex = r.Index
+			if r.Type != RecEffect {
+				continue
+			}
+			switch r.Outcome {
+			case controller.Granted:
+				s.Granted++
+				if r.Serial != 0 {
+					s.Serials = append(s.Serials, r.Serial)
+				}
+			case controller.Rejected:
+				s.Rejected++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// VerifyDir runs the cross-incarnation invariant checks over dir's whole
+// retained history against the (m, w) contract. It returns the summaries
+// and any violations found.
+func VerifyDir(dir string, m int64) ([]oracle.IncarnationSummary, []oracle.Violation, error) {
+	history, err := ReadHistory(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := Summaries(history)
+	return sums, oracle.CheckCrossIncarnations(m, sums), nil
+}

@@ -1,0 +1,16 @@
+//go:build linux
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes file data (and the size, when it changed) without
+// forcing unrelated metadata out — fdatasync is measurably cheaper than
+// fsync on the group-commit hot path and gives the same durability for a
+// log whose only metadata change is its length.
+func datasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync is unavailable.
+func datasync(f *os.File) error {
+	return f.Sync()
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+
+	"dynctrl/internal/persist"
+	"dynctrl/internal/pipeline"
+)
+
+// CrashForTests simulates a kill -9 for the recovery tests: listeners and
+// connections are cut, in-flight batches are drained out of the pipeline
+// (their clients may or may not have seen the replies — exactly the crash
+// ambiguity), and the WAL engine is abandoned without a final checkpoint,
+// dropping anything not yet fsynced.
+func (s *Server) CrashForTests() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.wg.Wait()
+	s.pl.Close()
+	if s.eng != nil {
+		s.eng.Abandon()
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+}
+
+// ControllerGranted exposes the controller's grant total for tests.
+func (s *Server) ControllerGranted() int64 {
+	s.guard.mu.Lock()
+	defer s.guard.mu.Unlock()
+	return s.ctl.Granted()
+}
+
+// ShutdownGraceful is a test convenience wrapper.
+func (s *Server) ShutdownGraceful(ctx context.Context) error { return s.Shutdown(ctx) }
+
+// EngineStatsForTests samples the WAL engine counters (zero without WAL).
+func (s *Server) EngineStatsForTests() (st persist.Stats) {
+	if s.eng != nil {
+		st = s.eng.StatsSnapshot()
+	}
+	return st
+}
+
+// PipelineStatsForTests samples the pipeline counters.
+func (s *Server) PipelineStatsForTests() pipeline.Stats { return s.pl.Stats() }
+
+// ReadBatchStatsForTests returns (readBatches, readReqs, maxRead).
+func (s *Server) ReadBatchStatsForTests() (int64, int64, int64) {
+	return s.readBatches.Load(), s.readReqs.Load(), s.maxRead.Load()
+}

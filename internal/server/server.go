@@ -12,10 +12,22 @@
 // run (read-batching), and the pipeline combines runs from all connections
 // into controller batches (flat combining).
 //
+// With a WAL directory configured (Config.WALDir) the daemon is durable:
+// every decided batch is appended to the internal/persist write-ahead log
+// and a connection's Results frame is not written until the batch's
+// records are fsynced — group commit, at most one fsync per SubmitMany
+// run, usually amortized over many concurrent runs. On boot the daemon
+// recovers: the latest snapshot is restored, the WAL tail is replayed
+// (and verified) through a rebuilt controller, and the incarnation counter
+// is bumped and surfaced in the Welcome frame and on /metricsz, so the
+// (M,W) contract holds across process restarts, not just within one.
+//
 // In paranoid mode the submitter is additionally wrapped in the
 // internal/oracle invariant checkers, so every request served over the
 // network is re-checked against the paper's guarantees; violations are
-// reported on /metricsz and by Violations().
+// reported on /metricsz and by Violations(). After a recovery the oracle
+// is seeded with the recovered grant totals, so the safety counter keeps
+// counting across the restart.
 //
 // A plain-text /metricsz endpoint (ops, grants, rejects, messages, batch
 // sizes) is served over HTTP on a second listener. Shutdown is graceful:
@@ -38,6 +50,7 @@ import (
 	"dynctrl/internal/controller"
 	"dynctrl/internal/dist"
 	"dynctrl/internal/oracle"
+	"dynctrl/internal/persist"
 	"dynctrl/internal/pipeline"
 	"dynctrl/internal/sim"
 	"dynctrl/internal/stats"
@@ -81,7 +94,29 @@ type Config struct {
 	// DefaultReadBatch).
 	MaxBatch  int
 	ReadBatch int
+
+	// WALDir enables the durability engine: decided batches are logged to
+	// this directory and recovered on boot. Empty runs in-memory only.
+	WALDir string
+	// SnapshotEvery checkpoints the full controller state every n logged
+	// effects (0 = DefaultSnapshotEvery; negative disables automatic
+	// checkpoints). A final checkpoint is always written on graceful
+	// shutdown.
+	SnapshotEvery int64
+	// CommitWindow is the group-commit coalescing window (0 =
+	// DefaultCommitWindow; negative fsyncs immediately).
+	CommitWindow time.Duration
+	// Logf receives recovery and durability warnings (default: discard).
+	Logf func(format string, args ...any)
 }
+
+// DefaultSnapshotEvery is the automatic checkpoint cadence (in logged
+// effects) when WALDir is set and SnapshotEvery is zero.
+const DefaultSnapshotEvery = 1 << 18
+
+// DefaultCommitWindow is the group-commit coalescing window: batches
+// decided within one window of each other share one fsync.
+const DefaultCommitWindow = 200 * time.Microsecond
 
 // Server is a running daemon instance.
 type Server struct {
@@ -94,6 +129,12 @@ type Server struct {
 	ctrs    *stats.Counters
 	topoSig uint64
 	started time.Time
+
+	// Durability engine state (nil/zero without a WAL).
+	eng              *persist.Engine
+	incarnation      uint64
+	recoveredEffects int
+	recoveredTrunc   int64
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -119,28 +160,89 @@ type Server struct {
 // guardedSubmitter serializes controller access (the pipeline leader is
 // the only submitter, but /metricsz samples the non-thread-safe runtime
 // counters concurrently) and optionally routes every request through the
-// oracle.
+// oracle. With a durability engine attached it also appends every decided
+// batch to the WAL — still under the lock, so log order is execution order
+// — and triggers background checkpoints; it does NOT wait for the fsync
+// (connections do that before replying), so the pipeline keeps combining
+// batches while earlier batches ride out their group commit.
 type guardedSubmitter struct {
-	mu  sync.Mutex
-	sub controller.BatchSubmitter
-	orc *oracle.Oracle // non-nil in paranoid mode
+	mu      sync.Mutex
+	sub     controller.BatchSubmitter
+	orc     *oracle.Oracle                   // non-nil in paranoid mode
+	eng     *persist.Engine                  // non-nil with a WAL
+	capture func() *persist.State            // deep state copy for checkpoints
+	logf    func(format string, args ...any) // durability warnings
+	// dead is set when the WAL can no longer accept records: from then on
+	// batches are refused *before* touching the controller, because a
+	// grant that cannot be logged would burn the permit budget against a
+	// state no recovery can ever reconstruct.
+	dead bool
+
+	// tickets maps an in-flight SubmitMany run (identified by the address
+	// of its first request — the pipeline hands the caller's slice through
+	// unchanged) to the group-commit ticket covering exactly its records,
+	// so each connection waits for its own fsync window instead of the
+	// engine's append high-water mark (which other connections keep
+	// advancing — a convoy).
+	tmu     sync.Mutex
+	tickets map[*controller.Request]uint64
 }
+
+// takeTicket claims (and forgets) the ticket recorded for the run whose
+// first request lives at key. ok is false when the run never reached the
+// engine — legitimate only for runs that decided nothing (every result an
+// error); the caller treats a miss with successful results as a broken
+// durability invariant, never as permission to reply early.
+func (g *guardedSubmitter) takeTicket(key *controller.Request) (ticket uint64, ok bool) {
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	t, ok := g.tickets[key]
+	delete(g.tickets, key)
+	return t, ok
+}
+
+// errWALUnavailable answers requests once the WAL has permanently failed.
+var errWALUnavailable = errors.New("server: wal unavailable")
 
 func (g *guardedSubmitter) SubmitBatch(reqs []controller.Request, out []controller.BatchResult) []controller.BatchResult {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.orc == nil {
-		return g.sub.SubmitBatch(reqs, out)
+	if g.dead {
+		for range reqs {
+			out = append(out, controller.BatchResult{Err: errWALUnavailable})
+		}
+		return out
 	}
-	for _, req := range reqs {
-		gr, err := g.orc.Submit(req)
-		out = append(out, controller.BatchResult{Grant: gr, Err: err})
+	base := len(out)
+	if g.orc == nil {
+		out = g.sub.SubmitBatch(reqs, out)
+	} else {
+		for _, req := range reqs {
+			gr, err := g.orc.Submit(req)
+			out = append(out, controller.BatchResult{Grant: gr, Err: err})
+		}
+	}
+	if g.eng != nil {
+		if ticket, err := g.eng.AppendEffects(reqs, out[base:]); err != nil {
+			g.dead = true
+			g.logf("server: wal append failed, refusing further admissions: %v", err)
+		} else if len(reqs) > 0 {
+			g.tmu.Lock()
+			g.tickets[&reqs[0]] = ticket
+			g.tmu.Unlock()
+		}
+		if g.eng.ShouldCheckpoint() {
+			g.eng.CheckpointAsync(g.capture())
+		}
 	}
 	return out
 }
 
-// New builds a server over a fresh admission stack. Call Start to begin
-// serving.
+// New builds a server over a fresh admission stack — or, when cfg.WALDir
+// names a directory with history, over the recovered one: the latest
+// snapshot is restored in place, the WAL tail is replayed through the
+// rebuilt controller (verifying every logged verdict), and the incarnation
+// counter is bumped. Call Start to begin serving.
 func New(cfg Config) (*Server, error) {
 	if cfg.M < 0 || cfg.W < 0 || cfg.W > cfg.M {
 		return nil, fmt.Errorf("server: invalid contract (M=%d, W=%d)", cfg.M, cfg.W)
@@ -157,10 +259,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReadBatch < 1 {
 		cfg.ReadBatch = DefaultReadBatch
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	tr, _ := tree.New()
 	if err := workload.BuildTopology(tr, cfg.Topology, cfg.Seed); err != nil {
 		return nil, err
 	}
+	// The handshake's topology signature always names the *initial* tree
+	// (the one a remote load generator can reconstruct from the spec and
+	// seed); recovery below may evolve the live tree past it.
+	topoSig := workload.TopologySignature(tr)
 	rt, err := sim.NewRuntime(cfg.Scheduler, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -168,27 +277,123 @@ func New(cfg Config) (*Server, error) {
 	ctrs := stats.NewCounters()
 	ctl := dist.NewDynamic(tr, rt, cfg.M, cfg.W, false, ctrs)
 
-	guard := &guardedSubmitter{sub: ctl}
-	if cfg.Paranoid {
-		guard.orc = oracle.Wrap(ctl, tr, cfg.M, cfg.W, oracle.WithMessages(rt.Messages))
-	}
-	var opts []pipeline.Option
-	if cfg.MaxBatch > 0 {
-		opts = append(opts, pipeline.WithMaxBatch(cfg.MaxBatch))
-	}
 	s := &Server{
 		cfg:     cfg,
 		tr:      tr,
 		rt:      rt,
 		ctl:     ctl,
-		guard:   guard,
 		ctrs:    ctrs,
-		pl:      pipeline.New(guard, opts...),
-		topoSig: workload.TopologySignature(tr),
+		topoSig: topoSig,
 		conns:   map[*srvConn]struct{}{},
 	}
+
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.CommitWindow == 0 {
+		cfg.CommitWindow = DefaultCommitWindow
+	}
+	if cfg.WALDir != "" {
+		snapEvery := cfg.SnapshotEvery
+		if snapEvery < 0 {
+			snapEvery = 0
+		}
+		window := cfg.CommitWindow
+		if window < 0 {
+			window = 0
+		}
+		eng, rec, err := persist.Open(cfg.WALDir, persist.Options{
+			SnapshotEvery: snapEvery,
+			CommitWindow:  window,
+			Logf:          cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open wal: %w", err)
+		}
+		if rec.Snapshot != nil {
+			if rec.Snapshot.M != cfg.M || rec.Snapshot.W != cfg.W {
+				eng.Close()
+				return nil, fmt.Errorf("server: wal snapshot was taken under (M=%d, W=%d), daemon started with (M=%d, W=%d)",
+					rec.Snapshot.M, rec.Snapshot.W, cfg.M, cfg.W)
+			}
+			s.ctl, err = persist.RestoreInto(rec.Snapshot, tr, rt, ctrs)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+		applied, err := persist.Replay(rec.Tail, s.ctl)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		s.eng = eng
+		s.incarnation = eng.Incarnation()
+		s.recoveredEffects = applied
+		s.recoveredTrunc = rec.TruncatedBytes
+		if rec.Snapshot != nil || applied > 0 {
+			cfg.Logf("server: recovered incarnation %d: snapshot index %d, %d effects replayed, %d torn bytes truncated",
+				s.incarnation, s.stateIndexOf(rec.Snapshot), applied, rec.TruncatedBytes)
+		}
+	}
+
+	guard := &guardedSubmitter{
+		sub:     s.ctl,
+		eng:     s.eng,
+		capture: s.captureState,
+		logf:    cfg.Logf,
+		tickets: make(map[*controller.Request]uint64),
+	}
+	if cfg.Paranoid {
+		// Seed the oracle with the recovered totals — and every serial the
+		// retained history ever granted — so the safety counter and serial
+		// uniqueness span incarnations.
+		var priorSerials []int64
+		if s.eng != nil {
+			history, err := persist.ReadHistory(cfg.WALDir)
+			if err != nil {
+				cfg.Logf("server: reading wal history for the oracle baseline: %v", err)
+			}
+			for _, sum := range persist.Summaries(history) {
+				priorSerials = append(priorSerials, sum.Serials...)
+			}
+		}
+		guard.orc = oracle.Wrap(s.ctl, tr, cfg.M, cfg.W,
+			oracle.WithMessages(rt.Messages),
+			oracle.WithBaseline(s.ctl.Granted(), ctrs.Get(stats.CounterRejects), priorSerials))
+	}
+	var opts []pipeline.Option
+	if cfg.MaxBatch > 0 {
+		opts = append(opts, pipeline.WithMaxBatch(cfg.MaxBatch))
+	}
+	s.guard = guard
+	s.pl = pipeline.New(guard, opts...)
 	return s, nil
 }
+
+func (s *Server) stateIndexOf(st *persist.State) uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.Index
+}
+
+// captureState deep-copies the admission stack into a snapshot state.
+// Called with guard.mu held (no submission in flight).
+func (s *Server) captureState() *persist.State {
+	return &persist.State{
+		Index:       s.eng.AppendedIndex(),
+		Incarnation: s.incarnation,
+		M:           s.cfg.M,
+		W:           s.cfg.W,
+		Tree:        s.tr.Snapshot(),
+		Ctl:         s.ctl.State(),
+		Counters:    s.ctrs.Snapshot(),
+	}
+}
+
+// Incarnation returns the durability incarnation (0 without a WAL).
+func (s *Server) Incarnation() uint64 { return s.incarnation }
 
 // Start opens the listeners and begins serving. It returns once the
 // listeners are bound (serving continues in background goroutines).
@@ -271,10 +476,16 @@ func (s *Server) removeConn(c *srvConn) {
 	s.mu.Unlock()
 }
 
-// broadcastRejectWave pushes a RejectWave frame to every live connection.
-// Called at most once, by whichever connection observed the first reject.
+// broadcastRejectWave pushes a RejectWave frame to every live connection
+// and logs the wave completion to the WAL. Called at most once, by
+// whichever connection observed the first reject.
 func (s *Server) broadcastRejectWave(granted int64) {
 	s.waveGranted.Store(granted)
+	if s.eng != nil {
+		if _, err := s.eng.AppendWave(granted); err != nil {
+			s.cfg.Logf("server: wal wave append failed: %v", err)
+		}
+	}
 	s.mu.Lock()
 	conns := make([]*srvConn, 0, len(s.conns))
 	for c := range s.conns {
@@ -331,7 +542,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.guard.orc != nil {
 		s.guard.orc.Finish()
 	}
+	if s.eng != nil {
+		// Final checkpoint: a graceful restart replays nothing.
+		if err := s.eng.Checkpoint(s.captureState()); err != nil {
+			s.cfg.Logf("server: final checkpoint failed: %v", err)
+		}
+	}
 	s.guard.mu.Unlock()
+	if s.eng != nil {
+		if err := s.eng.Close(); err != nil {
+			s.cfg.Logf("server: wal close failed: %v", err)
+		}
+	}
 
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
@@ -435,10 +657,11 @@ func (c *srvConn) serve() {
 	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
 	c.wmu.Lock()
 	c.bw.Write(wire.AppendWelcome(nil, wire.Welcome{ //nolint:errcheck
-		Version: wire.Version,
-		M:       c.s.cfg.M,
-		W:       c.s.cfg.W,
-		TopoSig: c.s.topoSig,
+		Version:     wire.Version,
+		M:           c.s.cfg.M,
+		W:           c.s.cfg.W,
+		TopoSig:     c.s.topoSig,
+		Incarnation: c.s.incarnation,
 	}))
 	if err := c.bw.Flush(); err != nil {
 		c.wmu.Unlock()
@@ -508,6 +731,28 @@ func (c *srvConn) serve() {
 		} else if err != nil {
 			c.fail(wire.CodeProtocol, err.Error())
 			return
+		}
+
+		// Group commit: results may not reach the wire before this batch's
+		// WAL records are fsynced. The guard recorded the ticket covering
+		// exactly this run's records; the pipeline keeps driving other
+		// batches while we ride out the fsync. A missing ticket is only
+		// legal when the run decided nothing (shutdown/dead-WAL error
+		// results) — with any successful result it means the durability
+		// chain broke, and the connection dies rather than reply early.
+		if eng := c.s.eng; eng != nil {
+			ticket, ok := c.s.guard.takeTicket(&reqs[0])
+			if !ok {
+				for _, br := range results {
+					if br.Err == nil {
+						c.fail(wire.CodeProtocol, "wal: decided batch has no durability ticket")
+						return
+					}
+				}
+			} else if werr := eng.WaitDurable(ticket); werr != nil {
+				c.fail(wire.CodeProtocol, fmt.Sprintf("wal: %v", werr))
+				return
+			}
 		}
 
 		c.accountAndReply(ids, counts, results, &wbuf, &wres)
@@ -584,6 +829,9 @@ func (c *srvConn) accountAndReply(ids []uint64, counts []int,
 			case errors.Is(br.Err, dist.ErrTerminated):
 				r = wire.Result{Code: wire.CodeTerminated}
 				errs++
+			case errors.Is(br.Err, errWALUnavailable):
+				r = wire.Result{Code: wire.CodeInternal}
+				errs++
 			default:
 				r = wire.Result{Code: wire.CodeBadRequest}
 				errs++
@@ -646,6 +894,24 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "dynctrld_w %d\n", s.cfg.W)
 	fmt.Fprintf(w, "dynctrld_paranoid %d\n", paranoid)
 	fmt.Fprintf(w, "dynctrld_topology_signature %d\n", s.topoSig)
+	fmt.Fprintf(w, "dynctrld_incarnation %d\n", s.incarnation)
+
+	if s.eng != nil {
+		es := s.eng.StatsSnapshot()
+		fmt.Fprintf(w, "dynctrld_wal_enabled 1\n")
+		fmt.Fprintf(w, "dynctrld_wal_appended_records %d\n", es.AppendedRecords)
+		fmt.Fprintf(w, "dynctrld_wal_appended_index %d\n", es.AppendedIndex)
+		fmt.Fprintf(w, "dynctrld_wal_durable_index %d\n", es.DurableIndex)
+		fmt.Fprintf(w, "dynctrld_wal_fsyncs_total %d\n", es.Fsyncs)
+		fmt.Fprintf(w, "dynctrld_wal_bytes_written %d\n", es.BytesWritten)
+		fmt.Fprintf(w, "dynctrld_wal_segments %d\n", es.Segments)
+		fmt.Fprintf(w, "dynctrld_wal_snapshots_total %d\n", es.Snapshots)
+		fmt.Fprintf(w, "dynctrld_wal_last_snapshot_index %d\n", es.LastSnapshotIndex)
+		fmt.Fprintf(w, "dynctrld_wal_recovered_effects %d\n", s.recoveredEffects)
+		fmt.Fprintf(w, "dynctrld_wal_recovered_truncated_bytes %d\n", s.recoveredTrunc)
+	} else {
+		fmt.Fprintf(w, "dynctrld_wal_enabled 0\n")
+	}
 
 	fmt.Fprintf(w, "dynctrld_ops_total %d\n", s.ops.Load())
 	fmt.Fprintf(w, "dynctrld_grants_total %d\n", s.grants.Load())

@@ -51,6 +51,17 @@ func (c *Counters) Reset() {
 	c.counts = make(map[string]int64)
 }
 
+// Restore replaces every counter with the given values (the durability
+// engine's recovery path re-seeds the shared counters from a snapshot).
+func (c *Counters) Restore(values map[string]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[string]int64, len(values))
+	for k, v := range values {
+		c.counts[k] = v
+	}
+}
+
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()

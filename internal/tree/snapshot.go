@@ -1,0 +1,154 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the tree's state-capture boundary for the durability engine
+// (internal/persist): Snapshot copies the complete structural state of a
+// tree into a plain exported value, and Restore replaces a tree's contents
+// with a previously captured snapshot, in place, so that every component
+// holding a *Tree (controllers, generators, servers) observes the restored
+// state through its existing reference.
+
+// NodeSnapshot is the captured state of one live node. Children are listed
+// in insertion order together with the port number the parent uses to reach
+// each child; ParentPort is the port at the node leading to its parent
+// (meaningless for the root). Depth is derivable and therefore not stored.
+type NodeSnapshot struct {
+	ID         NodeID
+	Parent     NodeID
+	ParentPort int
+	Children   []NodeID
+	ChildPorts []int
+}
+
+// Snapshot is the complete captured state of a tree. It is plain data: the
+// binary codec in internal/persist serializes it, and Restore rebuilds the
+// identical tree from it (node ids, child order, ports, change sequence and
+// the deleted-id set all survive the round trip).
+type Snapshot struct {
+	Root        NodeID
+	NextID      NodeID
+	ChangeSeq   uint64
+	EverExisted int
+	Deleted     []NodeID
+	Nodes       []NodeSnapshot
+}
+
+// Snapshot captures the tree's complete structural state. Nodes and deleted
+// ids are emitted in ascending id order, so identical trees produce
+// identical snapshots (the property the persist codecs and the snapshot
+// tests rely on).
+func (t *Tree) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &Snapshot{
+		Root:        t.root,
+		NextID:      t.nextID,
+		ChangeSeq:   t.changeSeq,
+		EverExisted: t.everExisted,
+		Deleted:     make([]NodeID, 0, len(t.deleted)),
+		Nodes:       make([]NodeSnapshot, 0, len(t.nodes)),
+	}
+	for id := range t.deleted {
+		s.Deleted = append(s.Deleted, id)
+	}
+	sort.Slice(s.Deleted, func(i, j int) bool { return s.Deleted[i] < s.Deleted[j] })
+	ids := make([]NodeID, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := t.nodes[id]
+		ns := NodeSnapshot{
+			ID:         n.id,
+			Parent:     n.parent,
+			ParentPort: n.parentPort,
+			Children:   append([]NodeID(nil), n.children...),
+			ChildPorts: make([]int, len(n.children)),
+		}
+		for i, cid := range n.children {
+			ns.ChildPorts[i] = n.childPorts[cid]
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}
+
+// Restore replaces the tree's contents with the captured snapshot, keeping
+// the tree value (and thus every reference to it), its port assigner and
+// its observers. Observers are not notified — a restore is state recovery,
+// not a topological change. The restored tree is validated before the
+// receiver is touched; on error the tree is left unchanged.
+func (t *Tree) Restore(s *Snapshot) error {
+	nodes := make(map[NodeID]*node, len(s.Nodes))
+	for _, ns := range s.Nodes {
+		if len(ns.ChildPorts) != len(ns.Children) {
+			return fmt.Errorf("restore: node %d has %d children but %d child ports",
+				ns.ID, len(ns.Children), len(ns.ChildPorts))
+		}
+		if _, dup := nodes[ns.ID]; dup {
+			return fmt.Errorf("restore: node %d listed twice: %w", ns.ID, ErrAlreadyExists)
+		}
+		n := &node{
+			id:         ns.ID,
+			parent:     ns.Parent,
+			parentPort: ns.ParentPort,
+			children:   append([]NodeID(nil), ns.Children...),
+			childIndex: make(map[NodeID]int, len(ns.Children)),
+			childPorts: make(map[NodeID]int, len(ns.Children)),
+		}
+		for i, cid := range ns.Children {
+			n.childIndex[cid] = i
+			n.childPorts[cid] = ns.ChildPorts[i]
+		}
+		nodes[ns.ID] = n
+	}
+	root, ok := nodes[s.Root]
+	if !ok {
+		return fmt.Errorf("restore: root %d: %w", s.Root, ErrNoSuchNode)
+	}
+	if root.parent != InvalidNode {
+		return fmt.Errorf("restore: root %d has parent %d", s.Root, root.parent)
+	}
+	// Recompute depths and check reachability before committing.
+	seen := 0
+	stack := []*node{root}
+	root.depth = 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen++
+		for _, cid := range n.children {
+			c, ok := nodes[cid]
+			if !ok {
+				return fmt.Errorf("restore: child %d of %d: %w", cid, n.id, ErrNoSuchNode)
+			}
+			if c.parent != n.id {
+				return fmt.Errorf("restore: child %d of %d has parent %d", cid, n.id, c.parent)
+			}
+			c.depth = n.depth + 1
+			stack = append(stack, c)
+		}
+	}
+	if seen != len(nodes) {
+		return fmt.Errorf("restore: %d nodes reachable from root, %d listed", seen, len(nodes))
+	}
+	deleted := make(map[NodeID]struct{}, len(s.Deleted))
+	for _, id := range s.Deleted {
+		deleted[id] = struct{}{}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes = nodes
+	t.root = s.Root
+	t.nextID = s.NextID
+	t.changeSeq = s.ChangeSeq
+	t.everExisted = s.EverExisted
+	t.deleted = deleted
+	return nil
+}

@@ -34,8 +34,9 @@ import (
 
 // Version is the protocol version spoken by this package. A server answers
 // a Hello carrying an unknown version with an Error frame (CodeVersion) and
-// closes the connection.
-const Version = 1
+// closes the connection. Version 2 added the server's durability
+// incarnation to the Welcome frame.
+const Version = 2
 
 // MaxFrame bounds the length prefix (type byte + payload) of every frame.
 // It admits a Submit batch of over 60k requests, far above any sane
@@ -149,10 +150,15 @@ type Hello struct {
 // speak and the admission contract it arbitrates. TopoSig is a signature of
 // the server's initial topology (workload.TopologySignature) so a load
 // generator replaying a scenario can verify it reconstructed the same tree.
+// Incarnation is the server's durability incarnation — how many times its
+// WAL directory has been opened — so a client can tell it reconnected to a
+// restarted (state-recovered) daemon rather than a fresh one; servers
+// without a WAL report 0.
 type Welcome struct {
-	Version uint16
-	M, W    int64
-	TopoSig uint64
+	Version     uint16
+	M, W        int64
+	TopoSig     uint64
+	Incarnation uint64
 }
 
 // Submit is a correlated batch of requests.
@@ -211,11 +217,12 @@ func AppendHello(buf []byte, h Hello) []byte {
 
 // AppendWelcome appends an encoded Welcome frame to buf.
 func AppendWelcome(buf []byte, w Welcome) []byte {
-	buf = appendHeader(buf, FrameWelcome, 2+8+8+8)
+	buf = appendHeader(buf, FrameWelcome, 2+8+8+8+8)
 	buf = binary.LittleEndian.AppendUint16(buf, w.Version)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.M))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.W))
-	return binary.LittleEndian.AppendUint64(buf, w.TopoSig)
+	buf = binary.LittleEndian.AppendUint64(buf, w.TopoSig)
+	return binary.LittleEndian.AppendUint64(buf, w.Incarnation)
 }
 
 // AppendSubmit appends an encoded Submit frame to buf.
@@ -385,6 +392,11 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 		return w, err
 	}
 	w.TopoSig = sig
+	inc, err := b.u64()
+	if err != nil {
+		return w, err
+	}
+	w.Incarnation = inc
 	return w, b.trailing()
 }
 

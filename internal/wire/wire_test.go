@@ -41,7 +41,7 @@ func TestHelloRoundTrip(t *testing.T) {
 }
 
 func TestWelcomeRoundTrip(t *testing.T) {
-	in := Welcome{Version: 7, M: 1 << 40, W: 12345, TopoSig: 0xdeadbeefcafe}
+	in := Welcome{Version: 7, M: 1 << 40, W: 12345, TopoSig: 0xdeadbeefcafe, Incarnation: 42}
 	ft, p := readOne(t, AppendWelcome(nil, in))
 	if ft != FrameWelcome {
 		t.Fatalf("frame type %v, want welcome", ft)

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
 
 	"dynctrl/internal/controller"
 	"dynctrl/internal/dist"
 	"dynctrl/internal/oracle"
+	"dynctrl/internal/persist"
 	"dynctrl/internal/pkgstore"
 	"dynctrl/internal/sim"
 	"dynctrl/internal/stats"
@@ -64,15 +66,35 @@ type FaultSpec struct {
 	MaxCrashes int `json:"max_crashes,omitempty"`
 }
 
+// DurabilitySpec configures the crash-restart fault axis: the run logs
+// every decided effect through an internal/persist WAL (in a throwaway
+// directory) and, every CrashEvery requests, the engine kills the whole
+// in-memory controller stack — tree, runtime, driver state — exactly as a
+// kill -9 would, then recovers it from the latest snapshot plus WAL replay
+// before continuing the trace. Because recovery is exact, the resulting
+// trace must be indistinguishable from a run that never crashed; the
+// golden corpus and TestCrashRestartMatchesUndisturbedRun pin that.
+type DurabilitySpec struct {
+	// CrashEvery crashes and recovers the stack every n requests (0
+	// disables the axis).
+	CrashEvery int `json:"crash_every,omitempty"`
+	// SnapshotEvery checkpoints the full state every n logged effects (0:
+	// recovery replays the whole log from the initial topology).
+	SnapshotEvery int64 `json:"snapshot_every,omitempty"`
+	// MaxCrashes bounds the injected crashes (0 = unbounded).
+	MaxCrashes int `json:"max_crashes,omitempty"`
+}
+
 // Scenario declaratively describes one adversarial run.
 type Scenario struct {
 	Name  string `json:"name"`
 	Notes string `json:"notes,omitempty"`
 
-	Topology   TopologySpec `json:"topology"`
-	Controller string       `json:"controller"` // "dynamic", "core", "core-serials"
-	Workload   WorkloadSpec `json:"workload"`
-	Faults     FaultSpec    `json:"faults,omitempty"`
+	Topology   TopologySpec   `json:"topology"`
+	Controller string         `json:"controller"` // "dynamic", "core", "core-serials"
+	Workload   WorkloadSpec   `json:"workload"`
+	Faults     FaultSpec      `json:"faults,omitempty"`
+	Durability DurabilitySpec `json:"durability,omitempty"`
 
 	// Requests is the submission count of a regular run; LongRequests (if
 	// set) replaces it in long mode (the nightly sweep).
@@ -101,6 +123,10 @@ type ScenarioResult struct {
 	Errors     int   `json:"errors"`
 	Crashes    int   `json:"crashes"`
 	Recoveries int   `json:"recoveries"`
+	// Restarts counts whole-process crash/recovery cycles of the
+	// durability axis (as opposed to Crashes, which counts single-node
+	// graceful-deletion faults).
+	Restarts int `json:"restarts,omitempty"`
 
 	TopoChanges       int64 `json:"topo_changes"`
 	TransportMessages int64 `json:"transport_messages"`
@@ -190,6 +216,16 @@ func Catalog() []Scenario {
 			Workload:   WorkloadSpec{Kind: "churn", Mix: "event"},
 			Requests:   500, LongRequests: 2000,
 			M: 400, W: 80,
+		},
+		{
+			Name:       "crash-restart",
+			Notes:      "kill -9 the whole controller stack mid-run and recover it from WAL + snapshot; the trace must continue exactly as if the crash never happened",
+			Topology:   TopologySpec{Kind: "balanced", Nodes: 64},
+			Controller: "dynamic",
+			Workload:   WorkloadSpec{Kind: "churn", Mix: "default", MinSize: 24},
+			Durability: DurabilitySpec{CrashEvery: 150, SnapshotEvery: 100, MaxCrashes: 3},
+			Requests:   700, LongRequests: 4000,
+			M: 2500, W: 500,
 		},
 		{
 			Name:       "grow-only-flood",
@@ -345,10 +381,12 @@ func RunScenario(sc Scenario, scheduler string, seed int64, long bool) (Scenario
 	// most one insertion per request.
 	u := int64(sc.Topology.Nodes + requests + 4)
 	var target oracle.Target
+	var dyn *dist.Dynamic // set for "dynamic": the durability axis snapshots it
 	opts := []oracle.Option{oracle.WithMessages(rt.Messages)}
 	switch sc.Controller {
 	case "dynamic":
-		target = dist.NewDynamic(tr, rt, sc.M, sc.W, false, counters)
+		dyn = dist.NewDynamic(tr, rt, sc.M, sc.W, false, counters)
+		target = dyn
 	case "core":
 		core := dist.NewCore(tr, rt, u, sc.M, sc.W, dist.WithCounters(counters))
 		target = dist.NewSubmitter(core, rt)
@@ -384,6 +422,47 @@ func RunScenario(sc Scenario, scheduler string, seed int64, long bool) (Scenario
 	}
 	faults := newFaultInjector(sc.Faults, tr, seed+2)
 
+	// Durability axis: log effects to a throwaway WAL directory so crash
+	// points can drop the whole in-memory stack and recover it.
+	dur := sc.Durability
+	var (
+		eng      *persist.Engine
+		walDir   string
+		bootSnap *tree.Snapshot
+		msgBase  int64
+	)
+	if dur.CrashEvery > 0 {
+		if dyn == nil {
+			return res, fmt.Errorf("workload: the durability axis requires the \"dynamic\" controller, scenario uses %q", sc.Controller)
+		}
+		walDir, err = os.MkdirTemp("", "dynctrl-wal-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(walDir)
+		// Recovery without a snapshot replays the whole log on top of the
+		// initial topology; capture it before any traffic mutates it.
+		bootSnap = tr.Snapshot()
+		eng, _, err = persist.Open(walDir, persist.Options{SnapshotEvery: dur.SnapshotEvery})
+		if err != nil {
+			return res, err
+		}
+		defer func() { eng.Close() }() //nolint:errcheck // idempotent safety net
+	}
+	captureState := func() *persist.State {
+		return &persist.State{
+			Index:       eng.AppendedIndex(),
+			Incarnation: eng.Incarnation(),
+			M:           sc.M,
+			W:           sc.W,
+			Tree:        tr.Snapshot(),
+			Ctl:         dyn.State(),
+			Counters:    counters.Snapshot(),
+		}
+	}
+	oneReq := make([]controller.Request, 1)
+	oneRes := make([]controller.BatchResult, 1)
+
 	hash := fnv.New64a()
 	var word [8]byte
 	hashInt := func(v int64) {
@@ -414,6 +493,58 @@ func RunScenario(sc Scenario, scheduler string, seed int64, long bool) (Scenario
 		if dp, ok := gen.(*DeepPath); ok {
 			dp.Observe(g)
 		}
+
+		if eng == nil {
+			continue
+		}
+		oneReq[0], oneRes[0] = req, controller.BatchResult{Grant: g}
+		if err := eng.CommitEffects(oneReq, oneRes); err != nil {
+			return res, err
+		}
+		if eng.ShouldCheckpoint() {
+			if err := eng.Checkpoint(captureState()); err != nil {
+				return res, err
+			}
+		}
+		if (i+1)%dur.CrashEvery == 0 && i+1 < requests &&
+			(dur.MaxCrashes == 0 || res.Restarts < dur.MaxCrashes) {
+			// Crash: drop every in-memory layer (the un-fsynced WAL buffer
+			// included — that is what a kill -9 loses) and recover from disk.
+			msgBase += rt.Messages()
+			eng.Abandon()
+			res.Restarts++
+			rt, err = sim.NewRuntime(scheduler, seed+int64(res.Restarts)*7919)
+			if err != nil {
+				return res, err
+			}
+			var rec *persist.Recovery
+			eng, rec, err = persist.Open(walDir, persist.Options{SnapshotEvery: dur.SnapshotEvery})
+			if err != nil {
+				return res, err
+			}
+			if rec.Snapshot != nil {
+				dyn, err = persist.RestoreInto(rec.Snapshot, tr, rt, counters)
+				if err != nil {
+					return res, err
+				}
+			} else {
+				counters.Restore(nil)
+				if err := tr.Restore(bootSnap); err != nil {
+					return res, err
+				}
+				dyn = dist.NewDynamic(tr, rt, sc.M, sc.W, false, counters)
+			}
+			if _, err = persist.Replay(rec.Tail, dyn); err != nil {
+				return res, err
+			}
+			// The recovered incarnation gets a fresh oracle seeded with the
+			// totals the previous one confirmed, so safety keeps counting
+			// across the restart; violations accumulate across incarnations.
+			res.Violations = append(res.Violations, orc.Violations()...)
+			orc = oracle.Wrap(dyn, tr, sc.M, sc.W,
+				oracle.WithMessages(rt.Messages),
+				oracle.WithBaseline(orc.Granted(), orc.Rejected(), nil))
+		}
 	}
 
 	res.Granted = orc.Granted()
@@ -421,11 +552,23 @@ func RunScenario(sc Scenario, scheduler string, seed int64, long bool) (Scenario
 	res.Crashes = faults.crashes
 	res.Recoveries = faults.recoveries
 	res.TopoChanges = counters.Get(stats.CounterTopoChanges)
-	res.TransportMessages = rt.Messages()
+	res.TransportMessages = msgBase + rt.Messages()
 	res.ControlMessages = counters.Get(dist.CounterControl)
 	res.FinalNodes = tr.Size()
 	res.FinalHeight = tr.Height()
-	res.Violations = orc.Finish()
+	res.Violations = append(res.Violations, orc.Finish()...)
+	if eng != nil {
+		// End the final incarnation gracefully, then audit the whole
+		// on-disk history with the cross-incarnation oracle.
+		if err := eng.Close(); err != nil {
+			return res, err
+		}
+		_, xviol, err := persist.VerifyDir(walDir, sc.M)
+		if err != nil {
+			return res, err
+		}
+		res.Violations = append(res.Violations, xviol...)
+	}
 	res.TraceHash = fmt.Sprintf("%016x", hash.Sum64())
 	return res, nil
 }

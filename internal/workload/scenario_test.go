@@ -110,6 +110,41 @@ func TestScenarioSeedReproducibility(t *testing.T) {
 	}
 }
 
+// TestCrashRestartMatchesUndisturbedRun is the recovery-exactness
+// property behind the crash-restart scenario: stripping the durability
+// axis (no crashes, no WAL) from the scenario must yield the identical
+// outcome trace — recovery reconstructs the controller so faithfully that
+// the request stream cannot tell the crashes happened.
+func TestCrashRestartMatchesUndisturbedRun(t *testing.T) {
+	sc, err := workload.ScenarioByName("crash-restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := workload.RunScenario(sc, "random", goldenSeed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Restarts == 0 {
+		t.Fatal("crash-restart scenario injected no restarts")
+	}
+	if len(crashed.Violations) > 0 {
+		t.Fatalf("violations across restarts: %v", crashed.Violations)
+	}
+	sc.Durability = workload.DurabilitySpec{}
+	smooth, err := workload.RunScenario(sc, "random", goldenSeed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.TraceHash != smooth.TraceHash {
+		t.Fatalf("crash-restart trace %s differs from undisturbed trace %s: recovery is not exact",
+			crashed.TraceHash, smooth.TraceHash)
+	}
+	if crashed.Granted != smooth.Granted || crashed.FinalNodes != smooth.FinalNodes {
+		t.Fatalf("crashed run granted=%d nodes=%d, undisturbed granted=%d nodes=%d",
+			crashed.Granted, crashed.FinalNodes, smooth.Granted, smooth.FinalNodes)
+	}
+}
+
 // goldenEntry is one pinned scenario behavior in the regression corpus.
 type goldenEntry struct {
 	Scenario          string `json:"scenario"`
@@ -117,6 +152,7 @@ type goldenEntry struct {
 	Granted           int64  `json:"granted"`
 	Rejected          int64  `json:"rejected"`
 	Crashes           int    `json:"crashes"`
+	Restarts          int    `json:"restarts"`
 	TopoChanges       int64  `json:"topo_changes"`
 	TransportMessages int64  `json:"transport_messages"`
 	FinalNodes        int    `json:"final_nodes"`
@@ -148,6 +184,7 @@ func runGolden(t *testing.T) []goldenEntry {
 			Granted:           res.Granted,
 			Rejected:          res.Rejected,
 			Crashes:           res.Crashes,
+			Restarts:          res.Restarts,
 			TopoChanges:       res.TopoChanges,
 			TransportMessages: res.TransportMessages,
 			FinalNodes:        res.FinalNodes,
