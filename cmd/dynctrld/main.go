@@ -14,18 +14,31 @@
 // the same -scenario and -seed reconstructs the identical tree (the wire
 // handshake verifies this via the topology signature).
 //
-// With -wal-dir the daemon is durable: every decided batch is written to
-// the internal/persist write-ahead log (group commit: results are not
-// released until their records are fsynced), the full state is
-// checkpointed every -snapshot-every effects and on graceful shutdown,
-// and a restart recovers the admission state — the (M, W) contract spans
+// The daemon serves one or more isolated tenant namespaces. Without
+// -tenant flags it serves the single default namespace configured by the
+// top-level -topology/-nodes/-seed/-sched/-m/-w flags. Each repeatable
+// -tenant flag declares one namespace with its own contract and topology:
+//
+//	dynctrld -tenant team-a,m=500000,w=250000,nodes=128 \
+//	         -tenant team-b,m=1000,w=100,topology=star,nodes=16
+//
+// The spec is name[,key=value,...] with keys topology, nodes, seed,
+// sched, m, w; unspecified keys inherit the top-level flags. Clients name
+// their namespace in the wire handshake and can never touch any other.
+//
+// With -wal-dir the daemon is durable: every tenant logs decided batches
+// to its own subdirectory (<wal-dir>/<tenant>) of the internal/persist
+// write-ahead log (group commit: results are not released until their
+// records are fsynced), the full state is checkpointed every
+// -snapshot-every effects and on graceful shutdown, and a restart
+// recovers every tenant's admission state — the (M, W) contracts span
 // incarnations. `dynctrld -wal-dir DIR -verify-wal` audits an existing
-// directory offline: it replays the retained history through the
-// cross-incarnation oracle (no serial reused, granted ≤ M summed across
-// restarts) and exits nonzero on any violation.
+// directory offline, tenant by tenant: it replays each retained history
+// through the cross-incarnation oracle (no serial reused, granted ≤ M
+// summed across restarts) and exits nonzero on any violation.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully — in-flight batches are
-// answered before the pipeline shuts down — then prints a final accounting
+// answered before the pipelines shut down — then prints a final accounting
 // line. The exit status is nonzero if paranoid mode recorded any oracle
 // violation.
 package main
@@ -36,6 +49,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -46,6 +62,50 @@ import (
 	"dynctrl/internal/wire"
 	"dynctrl/internal/workload"
 )
+
+// tenantFlags collects the repeatable -tenant specs.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string     { return strings.Join(*t, "; ") }
+func (t *tenantFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+// parseTenantSpec parses one -tenant value, name[,key=value,...], with
+// unspecified keys inherited from the default (top-level-flag) config.
+func parseTenantSpec(spec string, def server.TenantConfig) (server.TenantConfig, error) {
+	parts := strings.Split(spec, ",")
+	tc := def
+	tc.Name = parts[0]
+	if !wire.ValidTenant(tc.Name) {
+		return tc, fmt.Errorf("invalid tenant name %q", tc.Name)
+	}
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return tc, fmt.Errorf("tenant %q: malformed option %q (want key=value)", tc.Name, kv)
+		}
+		var err error
+		switch k {
+		case "topology":
+			tc.Topology.Kind = v
+		case "nodes":
+			tc.Topology.Nodes, err = strconv.Atoi(v)
+		case "seed":
+			tc.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "sched":
+			tc.Scheduler = v
+		case "m":
+			tc.M, err = strconv.ParseInt(v, 10, 64)
+		case "w":
+			tc.W, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return tc, fmt.Errorf("tenant %q: unknown option %q", tc.Name, k)
+		}
+		if err != nil {
+			return tc, fmt.Errorf("tenant %q: option %q: %v", tc.Name, kv, err)
+		}
+	}
+	return tc, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":7700", "wire-protocol listen address")
@@ -64,6 +124,8 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability and boot-time recovery")
 	snapshotEvery := flag.Int64("snapshot-every", 0, "checkpoint the full state every n logged effects (0 = default, <0 disables)")
 	verifyWAL := flag.Bool("verify-wal", false, "audit -wal-dir with the cross-incarnation oracle and exit")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "serve this tenant namespace: name[,key=value,...] with keys topology, nodes, seed, sched, m, w (repeatable; unset keys inherit the top-level flags)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -89,35 +151,63 @@ func main() {
 		cfg.Topology = sc.Topology
 		cfg.M, cfg.W = sc.M, sc.W
 	}
+	for _, spec := range tenants {
+		tc, err := parseTenantSpec(spec, server.TenantConfig{
+			Topology:  cfg.Topology,
+			Seed:      cfg.Seed,
+			Scheduler: cfg.Scheduler,
+			M:         cfg.M,
+			W:         cfg.W,
+		})
+		if err != nil {
+			fatalf("-tenant: %v", err)
+		}
+		cfg.Tenants = append(cfg.Tenants, tc)
+	}
 
 	if *verifyWAL {
 		if cfg.WALDir == "" {
 			fatalf("-verify-wal requires -wal-dir")
 		}
-		// Audit against the contract the history was actually written
-		// under: the latest snapshot records it. An explicit -m overrides
-		// (for directories that never checkpointed), but a mismatch is
-		// called out rather than silently trusted.
 		mExplicit := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "m" {
 				mExplicit = true
 			}
 		})
-		verifyM := cfg.M
-		if st, err := persist.ReadLatestSnapshot(cfg.WALDir); err != nil {
-			fatalf("read snapshot contract: %v", err)
-		} else if st != nil {
-			if mExplicit && st.M != cfg.M {
-				logf("warning: -m %d differs from the snapshot contract M=%d; auditing against -m", cfg.M, st.M)
-			} else {
-				verifyM = st.M
-				logf("auditing against the snapshot contract (M=%d, W=%d)", st.M, st.W)
-			}
-		} else if !mExplicit {
-			logf("warning: no snapshot records the contract; auditing against the default -m %d", cfg.M)
+		// Every tenant logs under its own subdirectory of the WAL root;
+		// audit each namespace independently.
+		dirs, err := tenantWALDirs(cfg.WALDir)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		verifyWALDir(cfg.WALDir, verifyM)
+		failed := false
+		for _, name := range dirs {
+			dir := filepath.Join(cfg.WALDir, name)
+			// Audit against the contract the history was actually written
+			// under: the latest snapshot records it. An explicit -m
+			// overrides (for directories that never checkpointed), but a
+			// mismatch is called out rather than silently trusted.
+			verifyM := cfg.M
+			if st, err := persist.ReadLatestSnapshot(dir); err != nil {
+				fatalf("tenant %q: read snapshot contract: %v", name, err)
+			} else if st != nil {
+				if mExplicit && st.M != cfg.M {
+					logf("tenant %q: warning: -m %d differs from the snapshot contract M=%d; auditing against -m", name, cfg.M, st.M)
+				} else {
+					verifyM = st.M
+					logf("tenant %q: auditing against the snapshot contract (M=%d, W=%d)", name, st.M, st.W)
+				}
+			} else if !mExplicit {
+				logf("tenant %q: warning: no snapshot records the contract; auditing against the default -m %d", name, cfg.M)
+			}
+			if !verifyWALDir(name, dir, verifyM) {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -128,8 +218,10 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatalf("%v", err)
 	}
-	logf("serving wire protocol v%d on %s (M=%d, W=%d, topology %s-%d, paranoid=%v, wal=%q, incarnation=%d)",
-		wire.Version, s.Addr(), cfg.M, cfg.W, cfg.Topology.Kind, cfg.Topology.Nodes, cfg.Paranoid, *walDir, s.Incarnation())
+	logf("serving wire protocol v%d on %s (paranoid=%v, wal=%q)", wire.Version, s.Addr(), cfg.Paranoid, *walDir)
+	for _, name := range s.Tenants() {
+		logf("tenant %q: topology signature %d, incarnation %d", name, s.TenantTopologySignature(name), s.TenantIncarnation(name))
+	}
 	if s.MetricsAddr() != "" {
 		logf("metrics on http://%s/metricsz", s.MetricsAddr())
 	}
@@ -144,6 +236,10 @@ func main() {
 	if err := s.Shutdown(ctx); err != nil {
 		logf("drain incomplete: %v", err)
 	}
+	for _, name := range s.Tenants() {
+		ops, grants, rejects, errs := s.TenantAccounting(name)
+		logf("tenant %q accounting: ops=%d grants=%d rejects=%d errors=%d", name, ops, grants, rejects, errs)
+	}
 	ops, grants, rejects, errs := s.Accounting()
 	logf("final accounting: ops=%d grants=%d rejects=%d errors=%d transport_messages=%d",
 		ops, grants, rejects, errs, s.TransportMessages())
@@ -155,28 +251,57 @@ func main() {
 	}
 }
 
-// verifyWALDir audits the retained WAL history against the contract and
-// exits: 0 when every cross-incarnation invariant holds, 1 otherwise.
-func verifyWALDir(dir string, m int64) {
+// tenantWALDirs lists the tenant subdirectories of the WAL root, sorted.
+// A root with loose WAL files and no subdirectories predates tenancy and
+// is rejected with a pointer at the per-tenant layout.
+func tenantWALDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	loose := false
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		} else {
+			loose = true
+		}
+	}
+	if len(names) == 0 {
+		if loose {
+			return nil, fmt.Errorf("%s holds a pre-tenancy flat WAL; move its files into %s to audit it",
+				root, filepath.Join(root, wire.DefaultTenant))
+		}
+		return nil, fmt.Errorf("%s holds no tenant WAL directories", root)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// verifyWALDir audits one tenant's retained WAL history against the
+// contract and reports whether every cross-incarnation invariant holds.
+func verifyWALDir(tenant, dir string, m int64) bool {
 	sums, violations, err := persist.VerifyDir(dir, m)
 	if err != nil {
 		fatalf("verify %s: %v", dir, err)
 	}
 	var granted, rejected int64
 	for _, s := range sums {
-		logf("incarnation %d: granted=%d rejected=%d wal=[%d, %d]",
-			s.Incarnation, s.Granted, s.Rejected, s.FirstIndex, s.LastIndex)
+		logf("tenant %q: incarnation %d: granted=%d rejected=%d wal=[%d, %d]",
+			tenant, s.Incarnation, s.Granted, s.Rejected, s.FirstIndex, s.LastIndex)
 		granted += s.Granted
 		rejected += s.Rejected
 	}
-	logf("history: %d incarnations, granted=%d (M=%d), rejected=%d", len(sums), granted, m, rejected)
+	logf("tenant %q: history: %d incarnations, granted=%d (M=%d), rejected=%d", tenant, len(sums), granted, m, rejected)
 	if len(violations) != 0 {
 		for _, v := range violations {
-			logf("CROSS-INCARNATION VIOLATION: %v", v)
+			logf("tenant %q: CROSS-INCARNATION VIOLATION: %v", tenant, v)
 		}
-		os.Exit(1)
+		return false
 	}
-	logf("cross-incarnation invariants hold")
+	logf("tenant %q: cross-incarnation invariants hold", tenant)
+	return true
 }
 
 func logf(format string, args ...any) {

@@ -14,12 +14,18 @@
 // pre-generates an interleaving-safe concurrent trace that it drives
 // through a pooled, pipelined client in chunked SubmitMany runs.
 //
+// With -tenant the generator binds every pooled connection to that
+// namespace of a multi-tenant daemon; its topology flags then describe
+// that tenant's tree, and the accounting cross-check reads the tenant's
+// labeled /metricsz section.
+//
 // Exit status is nonzero when: any request errored; the grant total
 // exceeds the server's M; fewer than -min-requests completed; or, when
-// -metrics is given, the daemon's /metricsz accounting (ops, grants,
-// rejects, oracle violations) does not reconcile exactly with what this
-// client observed. The accounting check assumes loadgen is the daemon's
-// only traffic source.
+// -metrics is given, the daemon's per-tenant /metricsz accounting (ops,
+// grants, rejects, oracle violations) does not reconcile exactly with
+// what this client observed. The accounting check assumes loadgen is the
+// only traffic source for its tenant; other tenants' traffic must not
+// move these numbers.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 	mix := flag.String("mix", "event", "churn mix when no scenario is given: "+
 		"default, grow, shrink, event, or storm")
 	seed := flag.Int64("seed", 1, "seed the daemon was started with")
+	tenant := flag.String("tenant", "", "tenant namespace to bind to (empty = the daemon's default namespace)")
 	conns := flag.Int("conns", 8, "pooled connections")
 	chunk := flag.Int("chunk", 128, "requests per SubmitMany run")
 	requests := flag.Int("requests", 0, "total requests to send (0 = scenario default; ignored with -duration)")
@@ -75,17 +82,17 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	cl, err := client.Dial(*addr, client.Options{Conns: *conns})
+	cl, err := client.Dial(*addr, client.Options{Conns: *conns, Tenant: *tenant})
 	if err != nil {
 		fatalf("dial %s: %v", *addr, err)
 	}
 	defer cl.Close()
 	if got, want := cl.TopologySignature(), workload.TopologySignature(tr); got != want {
 		fatalf("topology signature mismatch: daemon %d, local %d"+
-			" (start loadgen with the daemon's -scenario/-topology/-nodes/-seed)", got, want)
+			" (start loadgen with tenant %q's -scenario/-topology/-nodes/-seed)", got, want, cl.Tenant())
 	}
-	logf("connected to %s: M=%d W=%d incarnation=%d, %d conns, trace %d requests (%s)",
-		*addr, cl.M(), cl.W(), cl.Incarnation(), *conns, ct.Len(), sc.Name)
+	logf("connected to %s tenant %q: M=%d W=%d incarnation=%d, %d conns, trace %d requests (%s)",
+		*addr, cl.Tenant(), cl.M(), cl.W(), cl.Incarnation(), *conns, ct.Len(), sc.Name)
 
 	var total workload.ConcurrentResult
 	t0 := time.Now()
@@ -118,6 +125,7 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Workload: map[string]any{
 			"scenario": sc.Name,
+			"tenant":   cl.Tenant(),
 			"conns":    *conns,
 			"chunk":    *chunk,
 			"seed":     *seed,
@@ -168,12 +176,14 @@ func main() {
 	}
 	if *metrics != "" && total.Errors == 0 {
 		// With zero request errors every submitted request was answered on
-		// the wire, so the daemon's tallies must match ours exactly.
-		if err := reconcile(*metrics, total); err != nil {
+		// the wire, so the daemon's per-tenant tallies must match ours
+		// exactly (assuming loadgen is the only traffic source for its
+		// tenant — other tenants' traffic must not move these numbers).
+		if err := reconcile(*metrics, cl.Tenant(), total); err != nil {
 			logf("FAIL: accounting mismatch: %v", err)
 			failed = true
 		} else {
-			logf("accounting reconciled against %s", *metrics)
+			logf("tenant %q accounting reconciled against %s", cl.Tenant(), *metrics)
 		}
 	}
 	if failed {
@@ -182,8 +192,9 @@ func main() {
 }
 
 // reconcile fetches /metricsz and requires the daemon's wire-level
-// accounting to match this client's observations exactly.
-func reconcile(addr string, total workload.ConcurrentResult) error {
+// accounting for this client's tenant to match the client's observations
+// exactly.
+func reconcile(addr, tenant string, total workload.ConcurrentResult) error {
 	resp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
 	if err != nil {
 		return err
@@ -197,15 +208,16 @@ func reconcile(addr string, total workload.ConcurrentResult) error {
 	if err != nil {
 		return err
 	}
+	l := fmt.Sprintf("{tenant=%q}", tenant)
 	checks := []struct {
 		name string
 		want int64
 	}{
-		{"dynctrld_ops_total", total.Submitted},
-		{"dynctrld_grants_total", total.Granted},
-		{"dynctrld_rejects_total", total.Rejected},
-		{"dynctrld_errors_total", 0},
-		{"dynctrld_oracle_violations", 0},
+		{"dynctrld_tenant_ops_total" + l, total.Submitted},
+		{"dynctrld_tenant_grants_total" + l, total.Granted},
+		{"dynctrld_tenant_rejects_total" + l, total.Rejected},
+		{"dynctrld_tenant_errors_total" + l, 0},
+		{"dynctrld_tenant_oracle_violations" + l, 0},
 	}
 	for _, c := range checks {
 		got, ok := fields[c.name]

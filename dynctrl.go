@@ -171,8 +171,9 @@ type RemoteClient = client.Client
 type RemoteOptions = client.Options
 
 // Dial connects to a dynctrld daemon with a pool of conns connections and
-// performs the protocol handshake. The returned client reports the
-// server's (M, W) contract and is safe for concurrent use:
+// performs the protocol handshake against the default tenant namespace.
+// The returned client reports the server's (M, W) contract and is safe
+// for concurrent use:
 //
 //	cl, err := dynctrl.Dial("127.0.0.1:7700", 8)
 //	grant, err := cl.Submit(dynctrl.Request{Node: id, Kind: dynctrl.None})
@@ -180,7 +181,17 @@ func Dial(addr string, conns int) (*RemoteClient, error) {
 	return client.Dial(addr, client.Options{Conns: conns})
 }
 
-// DialOptions is Dial with full client options.
+// DialTenant is Dial bound to a named tenant namespace: every pooled
+// connection handshakes into that namespace, and the returned client
+// reports that tenant's (M, W) contract, topology signature and
+// incarnation. Dialing a namespace the daemon does not serve fails with
+// a typed handshake error.
+func DialTenant(addr, tenant string, conns int) (*RemoteClient, error) {
+	return client.Dial(addr, client.Options{Conns: conns, Tenant: tenant})
+}
+
+// DialOptions is Dial with full client options (pool size, tenant,
+// timeouts, reject-wave hook).
 func DialOptions(addr string, opts RemoteOptions) (*RemoteClient, error) {
 	return client.Dial(addr, opts)
 }

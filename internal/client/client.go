@@ -51,10 +51,27 @@ func (e *ResultError) Error() string {
 	}
 }
 
+// HandshakeError is the typed error returned when the server refuses the
+// handshake with an Error frame (wire.CodeVersion, wire.CodeTenant, ...).
+type HandshakeError struct {
+	// Code is the connection-fatal wire error code.
+	Code uint8
+	// Detail is the server's diagnostic text.
+	Detail string
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("client: server refused handshake (code %d): %s", e.Code, e.Detail)
+}
+
 // Options configures Dial.
 type Options struct {
 	// Conns is the pool size (default 1).
 	Conns int
+	// Tenant is the namespace every pooled connection binds to in the
+	// handshake (default wire.DefaultTenant). Dialing an unknown tenant
+	// fails with a HandshakeError carrying wire.CodeTenant.
+	Tenant string
 	// DialTimeout bounds each TCP dial plus handshake (default 10s).
 	DialTimeout time.Duration
 	// OnRejectWave, when set, is invoked once when the server announces the
@@ -69,6 +86,7 @@ type Client struct {
 	conns []*cliConn
 	next  atomic.Uint64
 
+	tenant      string
 	m, w        int64
 	topoSig     uint64
 	incarnation uint64
@@ -79,11 +97,14 @@ type Client struct {
 	closed atomic.Bool
 }
 
-// Dial connects the pool and performs the version handshake on every
-// connection.
+// Dial connects the pool and performs the version + tenant handshake on
+// every connection.
 func Dial(addr string, opts Options) (*Client, error) {
 	if opts.Conns < 1 {
 		opts.Conns = 1
+	}
+	if opts.Tenant == "" {
+		opts.Tenant = wire.DefaultTenant
 	}
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
@@ -96,6 +117,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 			return nil, err
 		}
 		if i == 0 {
+			c.tenant = cc.welcome.Tenant
 			c.m, c.w, c.topoSig = cc.welcome.M, cc.welcome.W, cc.welcome.TopoSig
 			c.incarnation = cc.welcome.Incarnation
 		}
@@ -124,6 +146,10 @@ func (c *Client) dialOne(addr string) (*cliConn, error) {
 	go cc.readLoop()
 	return cc, nil
 }
+
+// Tenant returns the namespace this pool is bound to, as echoed by the
+// server in the handshake.
+func (c *Client) Tenant() string { return c.tenant }
 
 // M returns the server's permit bound from the handshake.
 func (c *Client) M() int64 { return c.m }
@@ -253,7 +279,7 @@ type cliConn struct {
 }
 
 func (cc *cliConn) handshake() error {
-	cc.wbuf = wire.AppendHello(cc.wbuf[:0], wire.Hello{Version: wire.Version})
+	cc.wbuf = wire.AppendHello(cc.wbuf[:0], wire.Hello{Version: wire.Version, Tenant: cc.cl.opts.Tenant})
 	if _, err := cc.nc.Write(cc.wbuf); err != nil {
 		return err
 	}
@@ -271,6 +297,9 @@ func (cc *cliConn) handshake() error {
 		if w.Version != wire.Version {
 			return fmt.Errorf("client: server speaks version %d, want %d", w.Version, wire.Version)
 		}
+		if w.Tenant != cc.cl.opts.Tenant {
+			return fmt.Errorf("client: asked for tenant %q, server welcomed %q", cc.cl.opts.Tenant, w.Tenant)
+		}
 		cc.welcome = w
 		return nil
 	case wire.FrameError:
@@ -278,7 +307,7 @@ func (cc *cliConn) handshake() error {
 		if err != nil {
 			return err
 		}
-		return fmt.Errorf("client: server refused handshake: %s", e)
+		return &HandshakeError{Code: e.Code, Detail: e.Detail}
 	default:
 		return fmt.Errorf("client: unexpected %v frame in handshake", ft)
 	}

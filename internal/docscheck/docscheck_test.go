@@ -1,0 +1,147 @@
+// Package docscheck is the documentation drift gate: a test-only package
+// asserting that the normative documents under docs/ keep up with the
+// code. It checks that every relative markdown link in docs/ and the
+// README resolves, that every /metricsz field the server emits is
+// documented in docs/OPERATIONS.md, and that every wire frame type and
+// error code is documented in docs/PROTOCOL.md. CI runs it as the docs
+// job, so adding a metric or a wire code without documenting it fails
+// the build.
+package docscheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package directory.
+const repoRoot = "../.."
+
+func readFile(t *testing.T, rel string) string {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join(repoRoot, rel))
+	if err != nil {
+		t.Fatalf("read %s: %v", rel, err)
+	}
+	return string(buf)
+}
+
+// markdownFiles lists every document the link check covers.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	matches, err := filepath.Glob(filepath.Join(repoRoot, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		rel, err := filepath.Rel(repoRoot, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, rel)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected README plus at least two docs/ pages, found %v", files)
+	}
+	return files
+}
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve verifies every relative link in the covered
+// documents points at a file that exists (anchors and external URLs are
+// skipped — there is no network in the test environment).
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		body := readFile(t, file)
+		for _, m := range mdLink.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(repoRoot, filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+// TestMetricsFieldsDocumented extracts every dynctrld_* metric name the
+// server's /metricsz writer emits and requires docs/OPERATIONS.md to
+// document each one.
+func TestMetricsFieldsDocumented(t *testing.T) {
+	src := readFile(t, filepath.Join("internal", "server", "server.go"))
+	doc := readFile(t, filepath.Join("docs", "OPERATIONS.md"))
+
+	names := regexp.MustCompile(`dynctrld_[a-z_]+`).FindAllString(src, -1)
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("metric %s is emitted by internal/server but not documented in docs/OPERATIONS.md", name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("extracted only %d metric names from internal/server/server.go — the extractor regex is likely stale", len(seen))
+	}
+}
+
+// TestWireConstantsDocumented extracts every frame type and error code
+// declared by internal/wire and requires docs/PROTOCOL.md to document
+// the name and its numeric value.
+func TestWireConstantsDocumented(t *testing.T) {
+	src := readFile(t, filepath.Join("internal", "wire", "wire.go"))
+	doc := readFile(t, filepath.Join("docs", "PROTOCOL.md"))
+
+	frame := regexp.MustCompile(`(?m)^\tFrame([A-Za-z]+) FrameType = (\d+)`)
+	frames := frame.FindAllStringSubmatch(src, -1)
+	if len(frames) < 6 {
+		t.Fatalf("extracted only %d frame types from internal/wire/wire.go — the extractor regex is likely stale", len(frames))
+	}
+	for _, m := range frames {
+		name, value := m[1], m[2]
+		if !strings.Contains(doc, name) {
+			t.Errorf("frame type Frame%s is declared by internal/wire but not documented in docs/PROTOCOL.md", name)
+		}
+		// The frame tables lead each row with the numeric type.
+		if !strings.Contains(doc, fmt.Sprintf("| %s ", value)) {
+			t.Errorf("frame type Frame%s = %s: value %s does not appear as a table row in docs/PROTOCOL.md", name, value, value)
+		}
+	}
+
+	code := regexp.MustCompile(`(?m)^\t(Code[A-Za-z]+) uint8 = (\d+)`)
+	codes := code.FindAllStringSubmatch(src, -1)
+	if len(codes) < 8 {
+		t.Fatalf("extracted only %d error codes from internal/wire/wire.go — the extractor regex is likely stale", len(codes))
+	}
+	for _, m := range codes {
+		name, value := m[1], m[2]
+		if !strings.Contains(doc, name) {
+			t.Errorf("error code %s is declared by internal/wire but not documented in docs/PROTOCOL.md", name)
+		}
+		if !strings.Contains(doc, fmt.Sprintf("| %s ", value)) {
+			t.Errorf("error code %s = %s: value %s does not appear as a table row in docs/PROTOCOL.md", name, value, value)
+		}
+	}
+
+	// The protocol version the document claims must match the code.
+	version := regexp.MustCompile(`(?m)^const Version = (\d+)`).FindStringSubmatch(src)
+	if version == nil {
+		t.Fatal("could not extract wire.Version from internal/wire/wire.go")
+	}
+	if want := fmt.Sprintf("protocol version is **%s**", version[1]); !strings.Contains(doc, want) {
+		t.Errorf("docs/PROTOCOL.md does not state %q (wire.Version = %s)", want, version[1])
+	}
+}

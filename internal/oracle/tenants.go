@@ -1,0 +1,134 @@
+package oracle
+
+// This file adds the cross-tenant isolation checker. A multi-tenant
+// daemon promises that every namespace behaves exactly as if it were the
+// only one: tenant A flooding the daemon must not move tenant B's
+// verdicts, counters, or safety budget by a single bit. The checker works
+// from the observable request/grant stream alone, like the rest of the
+// package: a TenantTrace folds a tenant's verdict stream into an
+// order-sensitive hash plus tallies, and CheckTenantIsolation compares
+// the trace a tenant produced while running alone (the baseline) against
+// the trace the identical request sequence produced while another tenant
+// was flooding (the disturbed run).
+
+import (
+	"fmt"
+
+	"dynctrl/internal/controller"
+)
+
+// TenantTrace accumulates one tenant's verdict stream: an order-sensitive
+// FNV-1a hash over every (outcome, serial, new-node) verdict triple —
+// errors fold in as a distinct marker — plus the wire-level tallies. Two
+// runs of the same request sequence against isolated stacks produce equal
+// traces; any cross-tenant interference that moves a single verdict, or
+// reorders one, changes the hash.
+type TenantTrace struct {
+	// Tenant names the namespace the trace belongs to.
+	Tenant string
+	// M is the tenant's permit bound, for the per-tenant safety check.
+	M int64
+
+	// Submitted, Granted, Rejected and Errors tally the recorded verdicts.
+	Submitted, Granted, Rejected, Errors int64
+
+	hash uint64
+}
+
+// NewTenantTrace starts an empty trace for the named tenant under permit
+// bound m.
+func NewTenantTrace(tenant string, m int64) *TenantTrace {
+	t := &TenantTrace{Tenant: tenant, M: m}
+	t.hash = fnv64aOffset
+	return t
+}
+
+const (
+	fnv64aOffset = 14695981039346656037
+	fnv64aPrime  = 1099511628211
+)
+
+// fold mixes one little-endian int64 word into the running hash, matching
+// hash/fnv's byte order so the stream hash is stable across platforms.
+func (t *TenantTrace) fold(v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		t.hash ^= u & 0xff
+		t.hash *= fnv64aPrime
+		u >>= 8
+	}
+}
+
+// Record folds one verdict into the trace, in submission order.
+func (t *TenantTrace) Record(g controller.Grant, err error) {
+	t.Submitted++
+	if err != nil {
+		t.Errors++
+		t.fold(-1)
+		return
+	}
+	switch g.Outcome {
+	case controller.Granted:
+		t.Granted++
+	case controller.Rejected:
+		t.Rejected++
+	}
+	t.fold(int64(g.Outcome))
+	t.fold(g.Serial)
+	t.fold(int64(g.NewNode))
+}
+
+// Hash returns the order-sensitive digest of the verdicts recorded so far.
+func (t *TenantTrace) Hash() uint64 { return t.hash }
+
+// CheckTenantIsolation compares a tenant's baseline trace (the request
+// sequence run with no other tenant active) against the disturbed trace
+// (the identical sequence run while another tenant floods the daemon) and
+// reports every isolation breach:
+//
+//   - tenant-verdict-trace: the verdict streams must be bitwise identical
+//     — same outcomes, same serials, same new-node ids, in the same order.
+//   - tenant-accounting: the submitted/granted/rejected/error tallies must
+//     match exactly (this is the reconciliation contract per-tenant
+//     /metricsz makes to loadgen).
+//   - tenant-safety-counter: each run respects the tenant's own permit
+//     bound — flooding a neighbor must not let a tenant overdraw, nor
+//     shrink, its private budget.
+//
+// Violations use Request = -1: isolation is an end-of-run property.
+func CheckTenantIsolation(baseline, disturbed *TenantTrace) []Violation {
+	var out []Violation
+	report := func(invariant, detail string) {
+		out = append(out, Violation{Invariant: invariant, Request: -1, Detail: detail})
+	}
+	if baseline.Tenant != disturbed.Tenant {
+		report("tenant-verdict-trace", fmt.Sprintf(
+			"comparing traces of different tenants: %q vs %q", baseline.Tenant, disturbed.Tenant))
+		return out
+	}
+	if baseline.Submitted != disturbed.Submitted {
+		report("tenant-accounting", fmt.Sprintf(
+			"tenant %q: baseline submitted %d requests, disturbed run %d — not the same sequence",
+			baseline.Tenant, baseline.Submitted, disturbed.Submitted))
+	}
+	if baseline.Hash() != disturbed.Hash() {
+		report("tenant-verdict-trace", fmt.Sprintf(
+			"tenant %q: verdict stream moved under neighbor load: baseline hash %#x, disturbed %#x",
+			baseline.Tenant, baseline.Hash(), disturbed.Hash()))
+	}
+	if baseline.Granted != disturbed.Granted ||
+		baseline.Rejected != disturbed.Rejected ||
+		baseline.Errors != disturbed.Errors {
+		report("tenant-accounting", fmt.Sprintf(
+			"tenant %q: tallies moved under neighbor load: baseline granted=%d rejected=%d errors=%d, disturbed granted=%d rejected=%d errors=%d",
+			baseline.Tenant, baseline.Granted, baseline.Rejected, baseline.Errors,
+			disturbed.Granted, disturbed.Rejected, disturbed.Errors))
+	}
+	for _, t := range []*TenantTrace{baseline, disturbed} {
+		if t.M > 0 && t.Granted > t.M {
+			report("tenant-safety-counter", fmt.Sprintf(
+				"tenant %q: %d grants exceed the tenant's own M=%d", t.Tenant, t.Granted, t.M))
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"dynctrl/internal/controller"
+)
+
+func recordSequence(t *TenantTrace, grants []controller.Grant) {
+	for _, g := range grants {
+		t.Record(g, nil)
+	}
+}
+
+func TestTenantTraceDeterministic(t *testing.T) {
+	grants := []controller.Grant{
+		{Outcome: controller.Granted, Serial: 1},
+		{Outcome: controller.Granted, Serial: 2, NewNode: 7},
+		{Outcome: controller.Rejected},
+	}
+	a := NewTenantTrace("t", 10)
+	b := NewTenantTrace("t", 10)
+	recordSequence(a, grants)
+	recordSequence(b, grants)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("identical streams hash %#x vs %#x", a.Hash(), b.Hash())
+	}
+	if a.Granted != 2 || a.Rejected != 1 || a.Submitted != 3 || a.Errors != 0 {
+		t.Fatalf("tallies %+v", a)
+	}
+}
+
+func TestTenantTraceOrderSensitive(t *testing.T) {
+	g1 := controller.Grant{Outcome: controller.Granted, Serial: 1}
+	g2 := controller.Grant{Outcome: controller.Granted, Serial: 2}
+	a := NewTenantTrace("t", 10)
+	b := NewTenantTrace("t", 10)
+	recordSequence(a, []controller.Grant{g1, g2})
+	recordSequence(b, []controller.Grant{g2, g1})
+	if a.Hash() == b.Hash() {
+		t.Fatal("reordered stream did not change the hash")
+	}
+}
+
+func TestTenantTraceErrorsAreDistinct(t *testing.T) {
+	a := NewTenantTrace("t", 10)
+	b := NewTenantTrace("t", 10)
+	a.Record(controller.Grant{}, errors.New("boom"))
+	b.Record(controller.Grant{Outcome: controller.Rejected}, nil)
+	if a.Hash() == b.Hash() {
+		t.Fatal("an error folds like a rejection")
+	}
+	if a.Errors != 1 || b.Errors != 0 {
+		t.Fatalf("error tallies %d / %d", a.Errors, b.Errors)
+	}
+}
+
+func TestCheckTenantIsolationClean(t *testing.T) {
+	grants := []controller.Grant{
+		{Outcome: controller.Granted, Serial: 1},
+		{Outcome: controller.Rejected},
+	}
+	a := NewTenantTrace("b-team", 10)
+	b := NewTenantTrace("b-team", 10)
+	recordSequence(a, grants)
+	recordSequence(b, grants)
+	if v := CheckTenantIsolation(a, b); len(v) != 0 {
+		t.Fatalf("clean run reported violations: %v", v)
+	}
+}
+
+func TestCheckTenantIsolationCatchesMovedVerdicts(t *testing.T) {
+	a := NewTenantTrace("b-team", 10)
+	b := NewTenantTrace("b-team", 10)
+	// Same tallies, different serials: only the hash can see it.
+	recordSequence(a, []controller.Grant{{Outcome: controller.Granted, Serial: 1}})
+	recordSequence(b, []controller.Grant{{Outcome: controller.Granted, Serial: 3}})
+	v := CheckTenantIsolation(a, b)
+	if len(v) == 0 {
+		t.Fatal("moved serial not detected")
+	}
+	if v[0].Invariant != "tenant-verdict-trace" {
+		t.Fatalf("invariant %q, want tenant-verdict-trace", v[0].Invariant)
+	}
+}
+
+func TestCheckTenantIsolationCatchesMovedTallies(t *testing.T) {
+	a := NewTenantTrace("b-team", 10)
+	b := NewTenantTrace("b-team", 10)
+	recordSequence(a, []controller.Grant{{Outcome: controller.Granted, Serial: 1}, {Outcome: controller.Rejected}})
+	recordSequence(b, []controller.Grant{{Outcome: controller.Granted, Serial: 1}, {Outcome: controller.Granted, Serial: 2}})
+	found := map[string]bool{}
+	for _, viol := range CheckTenantIsolation(a, b) {
+		found[viol.Invariant] = true
+	}
+	if !found["tenant-accounting"] || !found["tenant-verdict-trace"] {
+		t.Fatalf("violations %v, want tenant-accounting and tenant-verdict-trace", found)
+	}
+}
+
+func TestCheckTenantIsolationCatchesOverdraft(t *testing.T) {
+	a := NewTenantTrace("b-team", 1)
+	b := NewTenantTrace("b-team", 1)
+	grants := []controller.Grant{
+		{Outcome: controller.Granted, Serial: 1},
+		{Outcome: controller.Granted, Serial: 2},
+	}
+	recordSequence(a, grants)
+	recordSequence(b, grants)
+	v := CheckTenantIsolation(a, b)
+	if len(v) != 2 || v[0].Invariant != "tenant-safety-counter" {
+		t.Fatalf("violations %v, want two tenant-safety-counter breaches", v)
+	}
+}
+
+func TestCheckTenantIsolationRejectsMixedTenants(t *testing.T) {
+	a := NewTenantTrace("a-team", 10)
+	b := NewTenantTrace("b-team", 10)
+	if v := CheckTenantIsolation(a, b); len(v) == 0 {
+		t.Fatal("traces of different tenants compared silently")
+	}
+}

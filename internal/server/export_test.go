@@ -8,10 +8,10 @@ import (
 )
 
 // CrashForTests simulates a kill -9 for the recovery tests: listeners and
-// connections are cut, in-flight batches are drained out of the pipeline
+// connections are cut, in-flight batches are drained out of the pipelines
 // (their clients may or may not have seen the replies — exactly the crash
-// ambiguity), and the WAL engine is abandoned without a final checkpoint,
-// dropping anything not yet fsynced.
+// ambiguity), and every tenant's WAL engine is abandoned without a final
+// checkpoint, dropping anything not yet fsynced.
 func (s *Server) CrashForTests() {
 	s.mu.Lock()
 	s.closed = true
@@ -27,37 +27,50 @@ func (s *Server) CrashForTests() {
 		c.nc.Close()
 	}
 	s.wg.Wait()
-	s.pl.Close()
-	if s.eng != nil {
-		s.eng.Abandon()
+	for _, name := range s.order {
+		tn := s.tenants[name]
+		tn.pl.Close()
+		if tn.eng != nil {
+			tn.eng.Abandon()
+		}
 	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
 }
 
-// ControllerGranted exposes the controller's grant total for tests.
+// ControllerGranted exposes the first tenant's controller grant total.
 func (s *Server) ControllerGranted() int64 {
-	s.guard.mu.Lock()
-	defer s.guard.mu.Unlock()
-	return s.ctl.Granted()
+	return s.TenantControllerGranted(s.order[0])
+}
+
+// TenantControllerGranted exposes the named tenant's controller grant
+// total for tests.
+func (s *Server) TenantControllerGranted(name string) int64 {
+	tn := s.tenants[name]
+	tn.guard.mu.Lock()
+	defer tn.guard.mu.Unlock()
+	return tn.ctl.Granted()
 }
 
 // ShutdownGraceful is a test convenience wrapper.
 func (s *Server) ShutdownGraceful(ctx context.Context) error { return s.Shutdown(ctx) }
 
-// EngineStatsForTests samples the WAL engine counters (zero without WAL).
+// EngineStatsForTests samples the first tenant's WAL engine counters
+// (zero without WAL).
 func (s *Server) EngineStatsForTests() (st persist.Stats) {
-	if s.eng != nil {
-		st = s.eng.StatsSnapshot()
+	if tn := s.defaultTenant(); tn.eng != nil {
+		st = tn.eng.StatsSnapshot()
 	}
 	return st
 }
 
-// PipelineStatsForTests samples the pipeline counters.
-func (s *Server) PipelineStatsForTests() pipeline.Stats { return s.pl.Stats() }
+// PipelineStatsForTests samples the first tenant's pipeline counters.
+func (s *Server) PipelineStatsForTests() pipeline.Stats { return s.defaultTenant().pl.Stats() }
 
-// ReadBatchStatsForTests returns (readBatches, readReqs, maxRead).
+// ReadBatchStatsForTests returns the first tenant's (readBatches,
+// readReqs, maxRead).
 func (s *Server) ReadBatchStatsForTests() (int64, int64, int64) {
-	return s.readBatches.Load(), s.readReqs.Load(), s.maxRead.Load()
+	tn := s.defaultTenant()
+	return tn.readBatches.Load(), tn.readReqs.Load(), tn.maxRead.Load()
 }

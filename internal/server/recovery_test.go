@@ -2,12 +2,14 @@ package server_test
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"dynctrl/internal/client"
 	"dynctrl/internal/persist"
 	"dynctrl/internal/server"
+	"dynctrl/internal/wire"
 	"dynctrl/internal/workload"
 )
 
@@ -115,7 +117,9 @@ func TestServerCrashRecovery(t *testing.T) {
 		t.Fatalf("oracle violations across the restart: %v", v)
 	}
 
-	sums, violations, err := persist.VerifyDir(dir, walConfig(t, dir).M)
+	// Each tenant logs under its own subdirectory of the WAL root; a
+	// single-tenant daemon uses the default namespace.
+	sums, violations, err := persist.VerifyDir(filepath.Join(dir, wire.DefaultTenant), walConfig(t, dir).M)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,38 +1,50 @@
-// Package server is the dynctrld daemon: a TCP service exposing an
-// (M,W)-Controller's Submit/grant/reject semantics over the wire protocol
-// of internal/wire.
+// Package server is the dynctrld daemon: a TCP service exposing
+// (M,W)-Controller Submit/grant/reject semantics over the wire protocol of
+// internal/wire, multiplexing any number of isolated tenant namespaces
+// behind one process.
 //
-// The server owns the whole admission stack — tree, message runtime,
-// distributed unknown-U controller, batching pipeline — and pushes every
-// request arriving on any connection through one dynctrl.Pipeline, so the
+// Every tenant namespace owns a complete, private admission stack — tree,
+// message runtime, distributed unknown-U controller, batching pipeline,
+// and (with durability enabled) its own WAL+snapshot directory — so the
 // paper's safety invariant (at most M permits granted, ever) is enforced
-// across all clients of the socket, not per connection. Two layers of
-// batching amortize the protocol overhead under load: each connection
-// coalesces the frames already buffered on its socket into one SubmitMany
-// run (read-batching), and the pipeline combines runs from all connections
-// into controller batches (flat combining).
+// per tenant across all of that tenant's connections, and no tenant's
+// traffic can move another tenant's verdicts, counters, or recovery
+// history. A connection binds to exactly one namespace in the Hello/
+// Welcome handshake and can never address any other: there is no
+// per-request tenant field to forge, and a Hello naming an unknown
+// namespace is refused with a typed wire error (wire.CodeTenant). A
+// daemon configured without explicit tenants serves the single
+// wire.DefaultTenant namespace, which is the pre-tenancy behavior.
 //
-// With a WAL directory configured (Config.WALDir) the daemon is durable:
-// every decided batch is appended to the internal/persist write-ahead log
+// Two layers of batching amortize the protocol overhead under load: each
+// connection coalesces the frames already buffered on its socket into one
+// SubmitMany run (read-batching), and each tenant's pipeline combines
+// runs from all of that tenant's connections into controller batches
+// (flat combining).
+//
+// With a WAL root configured (Config.WALDir) the daemon is durable: each
+// tenant logs to its own subdirectory (WALDir/<tenant>), every decided
+// batch is appended to that tenant's internal/persist write-ahead log,
 // and a connection's Results frame is not written until the batch's
 // records are fsynced — group commit, at most one fsync per SubmitMany
-// run, usually amortized over many concurrent runs. On boot the daemon
-// recovers: the latest snapshot is restored, the WAL tail is replayed
-// (and verified) through a rebuilt controller, and the incarnation counter
-// is bumped and surfaced in the Welcome frame and on /metricsz, so the
-// (M,W) contract holds across process restarts, not just within one.
+// run, usually amortized over many concurrent runs. On boot each tenant
+// recovers independently: the latest snapshot is restored, the WAL tail
+// is replayed (and verified) through a rebuilt controller, and the
+// incarnation counter is bumped and surfaced in the Welcome frame and on
+// /metricsz, so each tenant's (M,W) contract holds across process
+// restarts, not just within one.
 //
-// In paranoid mode the submitter is additionally wrapped in the
-// internal/oracle invariant checkers, so every request served over the
-// network is re-checked against the paper's guarantees; violations are
-// reported on /metricsz and by Violations(). After a recovery the oracle
-// is seeded with the recovered grant totals, so the safety counter keeps
-// counting across the restart.
+// In paranoid mode every tenant's submitter is additionally wrapped in
+// the internal/oracle invariant checkers, so every request served over
+// the network is re-checked against the paper's guarantees; violations
+// are reported on /metricsz and by Violations().
 //
-// A plain-text /metricsz endpoint (ops, grants, rejects, messages, batch
-// sizes) is served over HTTP on a second listener. Shutdown is graceful:
-// the listener closes, connection read sides close, in-flight batches are
-// drained and answered, and only then does the pipeline shut down.
+// A plain-text /metricsz endpoint is served over HTTP on a second
+// listener: process-wide aggregates first, then one fully labeled section
+// per tenant ({tenant="name"} suffixes). The field-by-field reference
+// lives in docs/OPERATIONS.md. Shutdown is graceful: the listener closes,
+// connection read sides close, in-flight batches are drained and
+// answered, and only then do the tenants' pipelines shut down.
 package server
 
 import (
@@ -43,6 +55,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +76,26 @@ import (
 // its socket buffer into a single SubmitMany run.
 const DefaultReadBatch = 4096
 
+// TenantConfig describes one tenant namespace: its name (the Hello
+// handshake key, also its WAL subdirectory and /metricsz label) and the
+// private admission stack it owns.
+type TenantConfig struct {
+	// Name is the namespace name; it must satisfy wire.ValidTenant.
+	Name string
+
+	// Topology and Seed determine the tenant's initial tree, exactly as in
+	// the scenario engine: the same (spec, seed) pair always builds the
+	// same tree, which is how a remote load generator reconstructs it.
+	Topology workload.TopologySpec
+	Seed     int64
+	// Scheduler names the transport schedule of the tenant's message
+	// runtime (default "random").
+	Scheduler string
+
+	// M and W are the tenant's admission contract.
+	M, W int64
+}
+
 // Config describes one daemon instance.
 type Config struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:7700"; ":0" picks a
@@ -72,36 +105,37 @@ type Config struct {
 	// empty disables it.
 	MetricsAddr string
 
-	// Topology and Seed determine the initial tree, exactly as in the
-	// scenario engine: the same (spec, seed) pair always builds the same
-	// tree, which is how a remote load generator reconstructs it.
-	Topology workload.TopologySpec
-	Seed     int64
-	// Scheduler names the transport schedule of the controller's message
-	// runtime (default "random").
+	// Topology, Seed, Scheduler, M and W describe the single
+	// wire.DefaultTenant namespace served when Tenants is empty. They are
+	// ignored when Tenants is set.
+	Topology  workload.TopologySpec
+	Seed      int64
 	Scheduler string
+	M, W      int64
 
-	// M and W are the admission contract.
-	M, W int64
+	// Tenants, when non-empty, declares the namespaces this daemon serves.
+	// Names must be unique and satisfy wire.ValidTenant.
+	Tenants []TenantConfig
 
-	// Paranoid wraps the submitter in the internal/oracle invariant
-	// checkers: every request served over the wire is re-checked against
-	// the (M,W) contract.
+	// Paranoid wraps every tenant's submitter in the internal/oracle
+	// invariant checkers: every request served over the wire is re-checked
+	// against that tenant's (M,W) contract.
 	Paranoid bool
 
-	// MaxBatch bounds the pipeline's combining cycles (0 = pipeline
+	// MaxBatch bounds the pipelines' combining cycles (0 = pipeline
 	// default); ReadBatch bounds per-connection read coalescing (0 =
 	// DefaultReadBatch).
 	MaxBatch  int
 	ReadBatch int
 
-	// WALDir enables the durability engine: decided batches are logged to
-	// this directory and recovered on boot. Empty runs in-memory only.
+	// WALDir enables the durability engine: each tenant logs decided
+	// batches to WALDir/<tenant-name> and recovers from it on boot. Empty
+	// runs in-memory only.
 	WALDir string
-	// SnapshotEvery checkpoints the full controller state every n logged
-	// effects (0 = DefaultSnapshotEvery; negative disables automatic
-	// checkpoints). A final checkpoint is always written on graceful
-	// shutdown.
+	// SnapshotEvery checkpoints a tenant's full controller state every n
+	// logged effects (0 = DefaultSnapshotEvery; negative disables
+	// automatic checkpoints). A final checkpoint is always written on
+	// graceful shutdown.
 	SnapshotEvery int64
 	// CommitWindow is the group-commit coalescing window (0 =
 	// DefaultCommitWindow; negative fsyncs immediately).
@@ -118,9 +152,14 @@ const DefaultSnapshotEvery = 1 << 18
 // decided within one window of each other share one fsync.
 const DefaultCommitWindow = 200 * time.Microsecond
 
-// Server is a running daemon instance.
-type Server struct {
-	cfg     Config
+// tenant is one namespace's private admission stack plus its wire-level
+// accounting. Nothing in here is shared between tenants: the tree, the
+// runtime, the controller, the pipeline, the WAL engine, the oracle and
+// every counter are per-namespace, which is what the cross-tenant
+// isolation oracle (oracle.CheckTenantIsolation) relies on.
+type tenant struct {
+	name    string
+	cfg     TenantConfig
 	tr      *tree.Tree
 	rt      sim.Runtime
 	ctl     *dist.Dynamic
@@ -128,13 +167,31 @@ type Server struct {
 	guard   *guardedSubmitter
 	ctrs    *stats.Counters
 	topoSig uint64
-	started time.Time
 
 	// Durability engine state (nil/zero without a WAL).
 	eng              *persist.Engine
 	incarnation      uint64
 	recoveredEffects int
 	recoveredTrunc   int64
+
+	// Wire-level accounting: what the server actually answered over the
+	// network for this tenant. The controller's own counters (grants,
+	// messages, ...) are reported separately on /metricsz; these are the
+	// numbers a load generator must reconcile against.
+	ops, grants, rejects, errs atomic.Int64
+	readBatches, readReqs      atomic.Int64
+	maxRead                    atomic.Int64
+	connsOpen, connsTotal      atomic.Int64
+	rejectWave                 atomic.Bool
+	waveGranted                atomic.Int64
+}
+
+// Server is a running daemon instance.
+type Server struct {
+	cfg     Config
+	tenants map[string]*tenant
+	order   []string // tenant names in configuration order
+	started time.Time
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -144,17 +201,6 @@ type Server struct {
 	conns  map[*srvConn]struct{}
 	closed bool
 	wg     sync.WaitGroup
-
-	// Wire-level accounting: what the server actually answered over the
-	// network. The controller's own counters (grants, messages, ...) are
-	// reported separately on /metricsz; these are the numbers a load
-	// generator must reconcile against.
-	ops, grants, rejects, errs atomic.Int64
-	readBatches, readReqs      atomic.Int64
-	maxRead                    atomic.Int64
-	connsTotal                 atomic.Int64
-	rejectWave                 atomic.Bool
-	waveGranted                atomic.Int64
 }
 
 // guardedSubmitter serializes controller access (the pipeline leader is
@@ -238,62 +284,68 @@ func (g *guardedSubmitter) SubmitBatch(reqs []controller.Request, out []controll
 	return out
 }
 
-// New builds a server over a fresh admission stack — or, when cfg.WALDir
-// names a directory with history, over the recovered one: the latest
-// snapshot is restored in place, the WAL tail is replayed through the
-// rebuilt controller (verifying every logged verdict), and the incarnation
-// counter is bumped. Call Start to begin serving.
-func New(cfg Config) (*Server, error) {
-	if cfg.M < 0 || cfg.W < 0 || cfg.W > cfg.M {
-		return nil, fmt.Errorf("server: invalid contract (M=%d, W=%d)", cfg.M, cfg.W)
+// tenantConfigs normalizes cfg into the tenant list: the explicit Tenants
+// slice, or a single wire.DefaultTenant namespace built from the
+// single-tenant fields.
+func tenantConfigs(cfg Config) []TenantConfig {
+	if len(cfg.Tenants) > 0 {
+		return cfg.Tenants
 	}
-	if cfg.Topology.Kind == "" {
-		cfg.Topology.Kind = "balanced"
+	return []TenantConfig{{
+		Name:      wire.DefaultTenant,
+		Topology:  cfg.Topology,
+		Seed:      cfg.Seed,
+		Scheduler: cfg.Scheduler,
+		M:         cfg.M,
+		W:         cfg.W,
+	}}
+}
+
+// newTenant builds (or, when its WAL subdirectory has history, recovers)
+// one namespace's admission stack.
+func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
+	if !wire.ValidTenant(tc.Name) {
+		return nil, fmt.Errorf("server: invalid tenant name %q", tc.Name)
 	}
-	if cfg.Topology.Nodes < 1 {
-		cfg.Topology.Nodes = 1
+	if tc.M < 0 || tc.W < 0 || tc.W > tc.M {
+		return nil, fmt.Errorf("server: tenant %q: invalid contract (M=%d, W=%d)", tc.Name, tc.M, tc.W)
 	}
-	if cfg.Scheduler == "" {
-		cfg.Scheduler = "random"
+	if tc.Topology.Kind == "" {
+		tc.Topology.Kind = "balanced"
 	}
-	if cfg.ReadBatch < 1 {
-		cfg.ReadBatch = DefaultReadBatch
+	if tc.Topology.Nodes < 1 {
+		tc.Topology.Nodes = 1
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if tc.Scheduler == "" {
+		tc.Scheduler = "random"
 	}
 	tr, _ := tree.New()
-	if err := workload.BuildTopology(tr, cfg.Topology, cfg.Seed); err != nil {
-		return nil, err
+	if err := workload.BuildTopology(tr, tc.Topology, tc.Seed); err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
 	}
 	// The handshake's topology signature always names the *initial* tree
 	// (the one a remote load generator can reconstruct from the spec and
 	// seed); recovery below may evolve the live tree past it.
 	topoSig := workload.TopologySignature(tr)
-	rt, err := sim.NewRuntime(cfg.Scheduler, cfg.Seed)
+	rt, err := sim.NewRuntime(tc.Scheduler, tc.Seed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
 	}
 	ctrs := stats.NewCounters()
-	ctl := dist.NewDynamic(tr, rt, cfg.M, cfg.W, false, ctrs)
 
-	s := &Server{
-		cfg:     cfg,
+	tn := &tenant{
+		name:    tc.Name,
+		cfg:     tc,
 		tr:      tr,
 		rt:      rt,
-		ctl:     ctl,
+		ctl:     dist.NewDynamic(tr, rt, tc.M, tc.W, false, ctrs),
 		ctrs:    ctrs,
 		topoSig: topoSig,
-		conns:   map[*srvConn]struct{}{},
 	}
 
-	if cfg.SnapshotEvery == 0 {
-		cfg.SnapshotEvery = DefaultSnapshotEvery
-	}
-	if cfg.CommitWindow == 0 {
-		cfg.CommitWindow = DefaultCommitWindow
-	}
+	var walDir string
 	if cfg.WALDir != "" {
+		walDir = filepath.Join(cfg.WALDir, tc.Name)
 		snapEvery := cfg.SnapshotEvery
 		if snapEvery < 0 {
 			snapEvery = 0
@@ -302,45 +354,49 @@ func New(cfg Config) (*Server, error) {
 		if window < 0 {
 			window = 0
 		}
-		eng, rec, err := persist.Open(cfg.WALDir, persist.Options{
+		eng, rec, err := persist.Open(walDir, persist.Options{
 			SnapshotEvery: snapEvery,
 			CommitWindow:  window,
 			Logf:          cfg.Logf,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("server: open wal: %w", err)
+			return nil, fmt.Errorf("server: tenant %q: open wal: %w", tc.Name, err)
 		}
 		if rec.Snapshot != nil {
-			if rec.Snapshot.M != cfg.M || rec.Snapshot.W != cfg.W {
+			if rec.Snapshot.M != tc.M || rec.Snapshot.W != tc.W {
 				eng.Close()
-				return nil, fmt.Errorf("server: wal snapshot was taken under (M=%d, W=%d), daemon started with (M=%d, W=%d)",
-					rec.Snapshot.M, rec.Snapshot.W, cfg.M, cfg.W)
+				return nil, fmt.Errorf("server: tenant %q: wal snapshot was taken under (M=%d, W=%d), daemon started with (M=%d, W=%d)",
+					tc.Name, rec.Snapshot.M, rec.Snapshot.W, tc.M, tc.W)
 			}
-			s.ctl, err = persist.RestoreInto(rec.Snapshot, tr, rt, ctrs)
+			tn.ctl, err = persist.RestoreInto(rec.Snapshot, tr, rt, ctrs)
 			if err != nil {
 				eng.Close()
-				return nil, err
+				return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
 			}
 		}
-		applied, err := persist.Replay(rec.Tail, s.ctl)
+		applied, err := persist.Replay(rec.Tail, tn.ctl)
 		if err != nil {
 			eng.Close()
-			return nil, err
+			return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
 		}
-		s.eng = eng
-		s.incarnation = eng.Incarnation()
-		s.recoveredEffects = applied
-		s.recoveredTrunc = rec.TruncatedBytes
+		tn.eng = eng
+		tn.incarnation = eng.Incarnation()
+		tn.recoveredEffects = applied
+		tn.recoveredTrunc = rec.TruncatedBytes
 		if rec.Snapshot != nil || applied > 0 {
-			cfg.Logf("server: recovered incarnation %d: snapshot index %d, %d effects replayed, %d torn bytes truncated",
-				s.incarnation, s.stateIndexOf(rec.Snapshot), applied, rec.TruncatedBytes)
+			var snapIndex uint64
+			if rec.Snapshot != nil {
+				snapIndex = rec.Snapshot.Index
+			}
+			cfg.Logf("server: tenant %q recovered incarnation %d: snapshot index %d, %d effects replayed, %d torn bytes truncated",
+				tc.Name, tn.incarnation, snapIndex, applied, rec.TruncatedBytes)
 		}
 	}
 
 	guard := &guardedSubmitter{
-		sub:     s.ctl,
-		eng:     s.eng,
-		capture: s.captureState,
+		sub:     tn.ctl,
+		eng:     tn.eng,
+		capture: tn.captureState,
 		logf:    cfg.Logf,
 		tickets: make(map[*controller.Request]uint64),
 	}
@@ -349,51 +405,113 @@ func New(cfg Config) (*Server, error) {
 		// retained history ever granted — so the safety counter and serial
 		// uniqueness span incarnations.
 		var priorSerials []int64
-		if s.eng != nil {
-			history, err := persist.ReadHistory(cfg.WALDir)
+		if tn.eng != nil {
+			history, err := persist.ReadHistory(walDir)
 			if err != nil {
-				cfg.Logf("server: reading wal history for the oracle baseline: %v", err)
+				cfg.Logf("server: tenant %q: reading wal history for the oracle baseline: %v", tc.Name, err)
 			}
 			for _, sum := range persist.Summaries(history) {
 				priorSerials = append(priorSerials, sum.Serials...)
 			}
 		}
-		guard.orc = oracle.Wrap(s.ctl, tr, cfg.M, cfg.W,
+		guard.orc = oracle.Wrap(tn.ctl, tr, tc.M, tc.W,
 			oracle.WithMessages(rt.Messages),
-			oracle.WithBaseline(s.ctl.Granted(), ctrs.Get(stats.CounterRejects), priorSerials))
+			oracle.WithBaseline(tn.ctl.Granted(), ctrs.Get(stats.CounterRejects), priorSerials))
 	}
 	var opts []pipeline.Option
 	if cfg.MaxBatch > 0 {
 		opts = append(opts, pipeline.WithMaxBatch(cfg.MaxBatch))
 	}
-	s.guard = guard
-	s.pl = pipeline.New(guard, opts...)
+	tn.guard = guard
+	tn.pl = pipeline.New(guard, opts...)
+	return tn, nil
+}
+
+// New builds a server over fresh per-tenant admission stacks — or, when
+// cfg.WALDir names a directory with history, over the recovered ones:
+// each tenant's latest snapshot is restored in place, its WAL tail is
+// replayed through the rebuilt controller (verifying every logged
+// verdict), and its incarnation counter is bumped. Call Start to begin
+// serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.ReadBatch < 1 {
+		cfg.ReadBatch = DefaultReadBatch
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.CommitWindow == 0 {
+		cfg.CommitWindow = DefaultCommitWindow
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		tenants: map[string]*tenant{},
+		conns:   map[*srvConn]struct{}{},
+	}
+	for _, tc := range tenantConfigs(cfg) {
+		if _, dup := s.tenants[tc.Name]; dup {
+			s.closeTenants()
+			return nil, fmt.Errorf("server: duplicate tenant name %q", tc.Name)
+		}
+		tn, err := newTenant(tc, cfg)
+		if err != nil {
+			s.closeTenants()
+			return nil, err
+		}
+		s.tenants[tc.Name] = tn
+		s.order = append(s.order, tc.Name)
+	}
 	return s, nil
 }
 
-func (s *Server) stateIndexOf(st *persist.State) uint64 {
-	if st == nil {
-		return 0
+// closeTenants tears down the stacks built so far (boot-failure path).
+func (s *Server) closeTenants() {
+	for _, name := range s.order {
+		tn := s.tenants[name]
+		tn.pl.Close()
+		if tn.eng != nil {
+			tn.eng.Close()
+		}
 	}
-	return st.Index
 }
 
-// captureState deep-copies the admission stack into a snapshot state.
-// Called with guard.mu held (no submission in flight).
-func (s *Server) captureState() *persist.State {
+// captureState deep-copies a tenant's admission stack into a snapshot
+// state. Called with guard.mu held (no submission in flight).
+func (t *tenant) captureState() *persist.State {
 	return &persist.State{
-		Index:       s.eng.AppendedIndex(),
-		Incarnation: s.incarnation,
-		M:           s.cfg.M,
-		W:           s.cfg.W,
-		Tree:        s.tr.Snapshot(),
-		Ctl:         s.ctl.State(),
-		Counters:    s.ctrs.Snapshot(),
+		Index:       t.eng.AppendedIndex(),
+		Incarnation: t.incarnation,
+		M:           t.cfg.M,
+		W:           t.cfg.W,
+		Tree:        t.tr.Snapshot(),
+		Ctl:         t.ctl.State(),
+		Counters:    t.ctrs.Snapshot(),
 	}
 }
 
-// Incarnation returns the durability incarnation (0 without a WAL).
-func (s *Server) Incarnation() uint64 { return s.incarnation }
+// defaultTenant returns the first configured tenant — the wire.DefaultTenant
+// namespace of a single-tenant daemon — for the single-tenant convenience
+// accessors.
+func (s *Server) defaultTenant() *tenant { return s.tenants[s.order[0]] }
+
+// Tenants returns the served namespace names in configuration order.
+func (s *Server) Tenants() []string { return append([]string(nil), s.order...) }
+
+// Incarnation returns the first tenant's durability incarnation (0 without
+// a WAL). Multi-tenant callers should use TenantIncarnation.
+func (s *Server) Incarnation() uint64 { return s.defaultTenant().incarnation }
+
+// TenantIncarnation returns the named tenant's durability incarnation.
+func (s *Server) TenantIncarnation(name string) uint64 {
+	if tn := s.tenants[name]; tn != nil {
+		return tn.incarnation
+	}
+	return 0
+}
 
 // Start opens the listeners and begins serving. It returns once the
 // listeners are bound (serving continues in background goroutines).
@@ -443,9 +561,19 @@ func (s *Server) MetricsAddr() string {
 	return s.httpLn.Addr().String()
 }
 
-// TopologySignature returns the signature of the initial tree, as sent in
-// the Welcome frame.
-func (s *Server) TopologySignature() uint64 { return s.topoSig }
+// TopologySignature returns the first tenant's initial-tree signature, as
+// sent in its Welcome frame. Multi-tenant callers should use
+// TenantTopologySignature.
+func (s *Server) TopologySignature() uint64 { return s.defaultTenant().topoSig }
+
+// TenantTopologySignature returns the named tenant's initial-tree
+// signature (0 for an unknown tenant).
+func (s *Server) TenantTopologySignature(name string) uint64 {
+	if tn := s.tenants[name]; tn != nil {
+		return tn.topoSig
+	}
+	return 0
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -462,7 +590,6 @@ func (s *Server) acceptLoop() {
 		}
 		c := &srvConn{s: s, nc: nc, br: bufio.NewReaderSize(nc, 64<<10), bw: bufio.NewWriterSize(nc, 64<<10)}
 		s.conns[c] = struct{}{}
-		s.connsTotal.Add(1)
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go c.serve()
@@ -474,22 +601,27 @@ func (s *Server) removeConn(c *srvConn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	if tn := c.tn; tn != nil {
+		tn.connsOpen.Add(-1)
+	}
 }
 
 // broadcastRejectWave pushes a RejectWave frame to every live connection
-// and logs the wave completion to the WAL. Called at most once, by
-// whichever connection observed the first reject.
-func (s *Server) broadcastRejectWave(granted int64) {
-	s.waveGranted.Store(granted)
-	if s.eng != nil {
-		if _, err := s.eng.AppendWave(granted); err != nil {
-			s.cfg.Logf("server: wal wave append failed: %v", err)
+// bound to tn and logs the wave completion to tn's WAL. Called at most
+// once per tenant, by whichever connection observed the first reject.
+func (s *Server) broadcastRejectWave(tn *tenant, granted int64) {
+	tn.waveGranted.Store(granted)
+	if tn.eng != nil {
+		if _, err := tn.eng.AppendWave(granted); err != nil {
+			s.cfg.Logf("server: tenant %q: wal wave append failed: %v", tn.name, err)
 		}
 	}
 	s.mu.Lock()
 	conns := make([]*srvConn, 0, len(s.conns))
 	for c := range s.conns {
-		conns = append(conns, c)
+		if c.tn == tn {
+			conns = append(conns, c)
+		}
 	}
 	s.mu.Unlock()
 	for _, c := range conns {
@@ -499,8 +631,9 @@ func (s *Server) broadcastRejectWave(granted int64) {
 
 // Shutdown drains the server gracefully: stop accepting, close connection
 // read sides (in-flight batches still get their responses), wait for the
-// handlers, then close the pipeline and run the oracle's end-of-run checks.
-// The context bounds the drain; on expiry remaining connections are cut.
+// handlers, then close every tenant's pipeline and run its oracle's
+// end-of-run checks. The context bounds the drain; on expiry remaining
+// connections are cut.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -537,21 +670,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 
-	s.pl.Close()
-	s.guard.mu.Lock()
-	if s.guard.orc != nil {
-		s.guard.orc.Finish()
-	}
-	if s.eng != nil {
-		// Final checkpoint: a graceful restart replays nothing.
-		if err := s.eng.Checkpoint(s.captureState()); err != nil {
-			s.cfg.Logf("server: final checkpoint failed: %v", err)
+	for _, name := range s.order {
+		tn := s.tenants[name]
+		tn.pl.Close()
+		tn.guard.mu.Lock()
+		if tn.guard.orc != nil {
+			tn.guard.orc.Finish()
 		}
-	}
-	s.guard.mu.Unlock()
-	if s.eng != nil {
-		if err := s.eng.Close(); err != nil {
-			s.cfg.Logf("server: wal close failed: %v", err)
+		if tn.eng != nil {
+			// Final checkpoint: a graceful restart replays nothing.
+			if err := tn.eng.Checkpoint(tn.captureState()); err != nil {
+				s.cfg.Logf("server: tenant %q: final checkpoint failed: %v", tn.name, err)
+			}
+		}
+		tn.guard.mu.Unlock()
+		if tn.eng != nil {
+			if err := tn.eng.Close(); err != nil {
+				s.cfg.Logf("server: tenant %q: wal close failed: %v", tn.name, err)
+			}
 		}
 	}
 
@@ -561,37 +697,74 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return drainErr
 }
 
-// Violations returns the oracle violations observed so far (nil when not
-// paranoid).
+// Violations returns the oracle violations observed so far across all
+// tenants (nil when not paranoid).
 func (s *Server) Violations() []oracle.Violation {
-	s.guard.mu.Lock()
-	defer s.guard.mu.Unlock()
-	if s.guard.orc == nil {
+	var out []oracle.Violation
+	for _, name := range s.order {
+		out = append(out, s.TenantViolations(name)...)
+	}
+	return out
+}
+
+// TenantViolations returns the named tenant's oracle violations (nil when
+// not paranoid or unknown).
+func (s *Server) TenantViolations(name string) []oracle.Violation {
+	tn := s.tenants[name]
+	if tn == nil {
 		return nil
 	}
-	return append([]oracle.Violation(nil), s.guard.orc.Violations()...)
+	tn.guard.mu.Lock()
+	defer tn.guard.mu.Unlock()
+	if tn.guard.orc == nil {
+		return nil
+	}
+	return append([]oracle.Violation(nil), tn.guard.orc.Violations()...)
 }
 
-// Accounting returns the wire-level tallies: requests answered, grants,
-// rejects and per-request errors as written to the network.
+// Accounting returns the wire-level tallies summed over all tenants:
+// requests answered, grants, rejects and per-request errors as written to
+// the network.
 func (s *Server) Accounting() (ops, grants, rejects, errs int64) {
-	return s.ops.Load(), s.grants.Load(), s.rejects.Load(), s.errs.Load()
+	for _, name := range s.order {
+		o, g, r, e := s.TenantAccounting(name)
+		ops, grants, rejects, errs = ops+o, grants+g, rejects+r, errs+e
+	}
+	return ops, grants, rejects, errs
 }
 
-// TransportMessages samples the controller transport's delivered-message
-// count. The runtime is not thread-safe, so the sample is taken under the
-// same lock the pipeline leader holds while driving batches.
+// TenantAccounting returns the named tenant's wire-level tallies (zeros
+// for an unknown tenant).
+func (s *Server) TenantAccounting(name string) (ops, grants, rejects, errs int64) {
+	tn := s.tenants[name]
+	if tn == nil {
+		return 0, 0, 0, 0
+	}
+	return tn.ops.Load(), tn.grants.Load(), tn.rejects.Load(), tn.errs.Load()
+}
+
+// TransportMessages samples the tenants' controller transports'
+// delivered-message counts, summed. The runtimes are not thread-safe, so
+// each sample is taken under the lock its pipeline leader holds while
+// driving batches.
 func (s *Server) TransportMessages() int64 {
-	s.guard.mu.Lock()
-	defer s.guard.mu.Unlock()
-	return s.rt.Messages()
+	var total int64
+	for _, name := range s.order {
+		tn := s.tenants[name]
+		tn.guard.mu.Lock()
+		total += tn.rt.Messages()
+		tn.guard.mu.Unlock()
+	}
+	return total
 }
 
-// srvConn is one accepted wire-protocol connection.
+// srvConn is one accepted wire-protocol connection, bound to a single
+// tenant namespace by the handshake.
 type srvConn struct {
 	s  *Server
 	nc net.Conn
 	br *bufio.Reader
+	tn *tenant // nil until the handshake binds the namespace
 
 	wmu sync.Mutex // guards bw and the underlying write side
 	bw  *bufio.Writer
@@ -635,7 +808,9 @@ func (c *srvConn) serve() {
 
 	var rbuf []byte
 
-	// Handshake: exactly one Hello, answered with Welcome.
+	// Handshake: exactly one Hello, answered with Welcome. The Hello names
+	// the tenant namespace the connection binds to; everything after the
+	// handshake is implicitly scoped to it.
 	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
 	ft, p, err := wire.ReadFrame(c.br, &rbuf)
 	if err != nil {
@@ -647,21 +822,34 @@ func (c *srvConn) serve() {
 	}
 	hello, err := wire.DecodeHello(p)
 	if err != nil {
-		c.fail(wire.CodeProtocol, err.Error())
+		if errors.Is(err, wire.ErrBadTenant) {
+			c.fail(wire.CodeTenant, err.Error())
+		} else {
+			c.fail(wire.CodeProtocol, err.Error())
+		}
 		return
 	}
 	if hello.Version != wire.Version {
 		c.fail(wire.CodeVersion, fmt.Sprintf("server speaks version %d, client sent %d", wire.Version, hello.Version))
 		return
 	}
+	tn := c.s.tenants[hello.Tenant]
+	if tn == nil {
+		c.fail(wire.CodeTenant, fmt.Sprintf("unknown tenant %q (served: %v)", hello.Tenant, c.s.order))
+		return
+	}
+	c.tn = tn
+	tn.connsOpen.Add(1)
+	tn.connsTotal.Add(1)
 	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
 	c.wmu.Lock()
 	c.bw.Write(wire.AppendWelcome(nil, wire.Welcome{ //nolint:errcheck
 		Version:     wire.Version,
-		M:           c.s.cfg.M,
-		W:           c.s.cfg.W,
-		TopoSig:     c.s.topoSig,
-		Incarnation: c.s.incarnation,
+		Tenant:      tn.name,
+		M:           tn.cfg.M,
+		W:           tn.cfg.W,
+		TopoSig:     tn.topoSig,
+		Incarnation: tn.incarnation,
 	}))
 	if err := c.bw.Flush(); err != nil {
 		c.wmu.Unlock()
@@ -714,13 +902,13 @@ func (c *srvConn) serve() {
 		}
 
 		n := int64(len(reqs))
-		c.s.readBatches.Add(1)
-		c.s.readReqs.Add(n)
-		if max := c.s.maxRead.Load(); n > max {
-			c.s.maxRead.CompareAndSwap(max, n) // best-effort high-water mark
+		tn.readBatches.Add(1)
+		tn.readReqs.Add(n)
+		if max := tn.maxRead.Load(); n > max {
+			tn.maxRead.CompareAndSwap(max, n) // best-effort high-water mark
 		}
 
-		results, err = c.s.pl.SubmitMany(reqs, results[:0])
+		results, err = tn.pl.SubmitMany(reqs, results[:0])
 		if errors.Is(err, pipeline.ErrClosed) {
 			// Admitted after the drain began: answer everything with the
 			// shutdown code so the client can tell these were not served.
@@ -740,8 +928,8 @@ func (c *srvConn) serve() {
 		// legal when the run decided nothing (shutdown/dead-WAL error
 		// results) — with any successful result it means the durability
 		// chain broke, and the connection dies rather than reply early.
-		if eng := c.s.eng; eng != nil {
-			ticket, ok := c.s.guard.takeTicket(&reqs[0])
+		if eng := tn.eng; eng != nil {
+			ticket, ok := tn.guard.takeTicket(&reqs[0])
 			if !ok {
 				for _, br := range results {
 					if br.Err == nil {
@@ -797,8 +985,8 @@ func (c *srvConn) completeFrameBuffered() bool {
 	return c.br.Buffered() >= 4+n
 }
 
-// accountAndReply updates the wire-level tallies and writes one Results
-// frame per submitted frame, in order.
+// accountAndReply updates the bound tenant's wire-level tallies and writes
+// one Results frame per submitted frame, in order.
 func (c *srvConn) accountAndReply(ids []uint64, counts []int,
 	results []controller.BatchResult, wbuf *[]byte, wres *[]wire.Result) {
 	var grants, rejects, errs int64
@@ -844,98 +1032,136 @@ func (c *srvConn) accountAndReply(ids []uint64, counts []int,
 	}
 	*wbuf = buf
 
-	c.s.ops.Add(int64(off))
-	c.s.grants.Add(grants)
-	c.s.rejects.Add(rejects)
-	c.s.errs.Add(errs)
+	tn := c.tn
+	tn.ops.Add(int64(off))
+	tn.grants.Add(grants)
+	tn.rejects.Add(rejects)
+	tn.errs.Add(errs)
 
 	c.wmu.Lock()
 	c.bw.Write(buf) //nolint:errcheck // write errors surface on the next op
 	c.bw.Flush()    //nolint:errcheck
 	c.wmu.Unlock()
 
-	// First reject observed on the wire: announce the wave to every client.
-	if rejects > 0 && c.s.rejectWave.CompareAndSwap(false, true) {
-		c.s.broadcastRejectWave(c.s.grants.Load())
+	// First reject observed on the wire for this tenant: announce the wave
+	// to every connection bound to it.
+	if rejects > 0 && tn.rejectWave.CompareAndSwap(false, true) {
+		c.s.broadcastRejectWave(tn, tn.grants.Load())
 	}
 }
 
-// WriteMetrics renders the plain-text /metricsz document.
+// WriteMetrics renders the plain-text /metricsz document: process-wide
+// aggregates, then one fully labeled section per tenant. Every field is
+// documented in docs/OPERATIONS.md (enforced by internal/docscheck).
 func (s *Server) WriteMetrics(w io.Writer) {
-	ps := s.pl.Stats()
-	snap := s.ctrs.Snapshot()
-
-	// The runtime is not thread-safe: sample it under the same lock the
-	// pipeline leader holds while driving batches.
-	s.guard.mu.Lock()
-	transport := s.rt.Messages()
-	var violations int
-	if s.guard.orc != nil {
-		violations = len(s.guard.orc.Violations())
+	var ops, grants, rejects, errs, violations, connsOpen, connsTotal int64
+	wave, wal := 0, 0
+	for _, name := range s.order {
+		tn := s.tenants[name]
+		ops += tn.ops.Load()
+		grants += tn.grants.Load()
+		rejects += tn.rejects.Load()
+		errs += tn.errs.Load()
+		violations += int64(len(s.TenantViolations(name)))
+		connsOpen += tn.connsOpen.Load()
+		connsTotal += tn.connsTotal.Load()
+		if tn.rejectWave.Load() {
+			wave = 1
+		}
+		if tn.eng != nil {
+			wal = 1
+		}
 	}
-	s.guard.mu.Unlock()
-
-	s.mu.Lock()
-	open := len(s.conns)
-	s.mu.Unlock()
-
 	paranoid := 0
 	if s.cfg.Paranoid {
 		paranoid = 1
 	}
-	wave := 0
-	if s.rejectWave.Load() {
-		wave = 1
-	}
 
 	fmt.Fprintf(w, "dynctrld_protocol_version %d\n", wire.Version)
 	fmt.Fprintf(w, "dynctrld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "dynctrld_m %d\n", s.cfg.M)
-	fmt.Fprintf(w, "dynctrld_w %d\n", s.cfg.W)
+	fmt.Fprintf(w, "dynctrld_tenants %d\n", len(s.order))
 	fmt.Fprintf(w, "dynctrld_paranoid %d\n", paranoid)
-	fmt.Fprintf(w, "dynctrld_topology_signature %d\n", s.topoSig)
-	fmt.Fprintf(w, "dynctrld_incarnation %d\n", s.incarnation)
+	fmt.Fprintf(w, "dynctrld_wal_enabled %d\n", wal)
+	fmt.Fprintf(w, "dynctrld_ops_total %d\n", ops)
+	fmt.Fprintf(w, "dynctrld_grants_total %d\n", grants)
+	fmt.Fprintf(w, "dynctrld_rejects_total %d\n", rejects)
+	fmt.Fprintf(w, "dynctrld_errors_total %d\n", errs)
+	fmt.Fprintf(w, "dynctrld_reject_wave %d\n", wave)
+	fmt.Fprintf(w, "dynctrld_oracle_violations %d\n", violations)
+	fmt.Fprintf(w, "dynctrld_connections_open %d\n", connsOpen)
+	fmt.Fprintf(w, "dynctrld_connections_total %d\n", connsTotal)
 
-	if s.eng != nil {
-		es := s.eng.StatsSnapshot()
-		fmt.Fprintf(w, "dynctrld_wal_enabled 1\n")
-		fmt.Fprintf(w, "dynctrld_wal_appended_records %d\n", es.AppendedRecords)
-		fmt.Fprintf(w, "dynctrld_wal_appended_index %d\n", es.AppendedIndex)
-		fmt.Fprintf(w, "dynctrld_wal_durable_index %d\n", es.DurableIndex)
-		fmt.Fprintf(w, "dynctrld_wal_fsyncs_total %d\n", es.Fsyncs)
-		fmt.Fprintf(w, "dynctrld_wal_bytes_written %d\n", es.BytesWritten)
-		fmt.Fprintf(w, "dynctrld_wal_segments %d\n", es.Segments)
-		fmt.Fprintf(w, "dynctrld_wal_snapshots_total %d\n", es.Snapshots)
-		fmt.Fprintf(w, "dynctrld_wal_last_snapshot_index %d\n", es.LastSnapshotIndex)
-		fmt.Fprintf(w, "dynctrld_wal_recovered_effects %d\n", s.recoveredEffects)
-		fmt.Fprintf(w, "dynctrld_wal_recovered_truncated_bytes %d\n", s.recoveredTrunc)
-	} else {
-		fmt.Fprintf(w, "dynctrld_wal_enabled 0\n")
+	for _, name := range s.order {
+		s.writeTenantMetrics(w, s.tenants[name])
+	}
+}
+
+// writeTenantMetrics renders one tenant's labeled /metricsz section.
+func (s *Server) writeTenantMetrics(w io.Writer, tn *tenant) {
+	l := fmt.Sprintf("{tenant=%q}", tn.name)
+	ps := tn.pl.Stats()
+	snap := tn.ctrs.Snapshot()
+
+	// The runtime is not thread-safe: sample it under the same lock the
+	// pipeline leader holds while driving batches.
+	tn.guard.mu.Lock()
+	transport := tn.rt.Messages()
+	var violations int
+	if tn.guard.orc != nil {
+		violations = len(tn.guard.orc.Violations())
+	}
+	tn.guard.mu.Unlock()
+
+	wave := 0
+	if tn.rejectWave.Load() {
+		wave = 1
 	}
 
-	fmt.Fprintf(w, "dynctrld_ops_total %d\n", s.ops.Load())
-	fmt.Fprintf(w, "dynctrld_grants_total %d\n", s.grants.Load())
-	fmt.Fprintf(w, "dynctrld_rejects_total %d\n", s.rejects.Load())
-	fmt.Fprintf(w, "dynctrld_errors_total %d\n", s.errs.Load())
-	fmt.Fprintf(w, "dynctrld_reject_wave %d\n", wave)
-	fmt.Fprintf(w, "dynctrld_reject_wave_granted %d\n", s.waveGranted.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_m%s %d\n", l, tn.cfg.M)
+	fmt.Fprintf(w, "dynctrld_tenant_w%s %d\n", l, tn.cfg.W)
+	fmt.Fprintf(w, "dynctrld_tenant_topology_signature%s %d\n", l, tn.topoSig)
+	fmt.Fprintf(w, "dynctrld_tenant_incarnation%s %d\n", l, tn.incarnation)
 
-	fmt.Fprintf(w, "dynctrld_connections_open %d\n", open)
-	fmt.Fprintf(w, "dynctrld_connections_total %d\n", s.connsTotal.Load())
+	if tn.eng != nil {
+		es := tn.eng.StatsSnapshot()
+		fmt.Fprintf(w, "dynctrld_tenant_wal_enabled%s 1\n", l)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_appended_records%s %d\n", l, es.AppendedRecords)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_appended_index%s %d\n", l, es.AppendedIndex)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_durable_index%s %d\n", l, es.DurableIndex)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_fsyncs_total%s %d\n", l, es.Fsyncs)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_bytes_written%s %d\n", l, es.BytesWritten)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_segments%s %d\n", l, es.Segments)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_snapshots_total%s %d\n", l, es.Snapshots)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_last_snapshot_index%s %d\n", l, es.LastSnapshotIndex)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_recovered_effects%s %d\n", l, tn.recoveredEffects)
+		fmt.Fprintf(w, "dynctrld_tenant_wal_recovered_truncated_bytes%s %d\n", l, tn.recoveredTrunc)
+	} else {
+		fmt.Fprintf(w, "dynctrld_tenant_wal_enabled%s 0\n", l)
+	}
 
-	fmt.Fprintf(w, "dynctrld_read_batches_total %d\n", s.readBatches.Load())
-	fmt.Fprintf(w, "dynctrld_read_batch_requests_total %d\n", s.readReqs.Load())
-	fmt.Fprintf(w, "dynctrld_read_batch_max %d\n", s.maxRead.Load())
-	fmt.Fprintf(w, "dynctrld_pipeline_batches_total %d\n", ps.Batches)
-	fmt.Fprintf(w, "dynctrld_pipeline_requests_total %d\n", ps.Requests)
-	fmt.Fprintf(w, "dynctrld_pipeline_batch_max %d\n", ps.MaxBatch)
+	fmt.Fprintf(w, "dynctrld_tenant_ops_total%s %d\n", l, tn.ops.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_grants_total%s %d\n", l, tn.grants.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_rejects_total%s %d\n", l, tn.rejects.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_errors_total%s %d\n", l, tn.errs.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_reject_wave%s %d\n", l, wave)
+	fmt.Fprintf(w, "dynctrld_tenant_reject_wave_granted%s %d\n", l, tn.waveGranted.Load())
 
-	fmt.Fprintf(w, "dynctrld_transport_messages_total %d\n", transport)
-	fmt.Fprintf(w, "dynctrld_control_messages_total %d\n", snap[dist.CounterControl])
-	fmt.Fprintf(w, "dynctrld_ctl_grants_total %d\n", snap[stats.CounterGrants])
-	fmt.Fprintf(w, "dynctrld_ctl_rejects_total %d\n", snap[stats.CounterRejects])
-	fmt.Fprintf(w, "dynctrld_topo_changes_total %d\n", snap[stats.CounterTopoChanges])
-	fmt.Fprintf(w, "dynctrld_tree_nodes %d\n", s.tr.Size())
-	fmt.Fprintf(w, "dynctrld_tree_height %d\n", s.tr.Height())
-	fmt.Fprintf(w, "dynctrld_oracle_violations %d\n", violations)
+	fmt.Fprintf(w, "dynctrld_tenant_connections_open%s %d\n", l, tn.connsOpen.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_connections_total%s %d\n", l, tn.connsTotal.Load())
+
+	fmt.Fprintf(w, "dynctrld_tenant_read_batches_total%s %d\n", l, tn.readBatches.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_read_batch_requests_total%s %d\n", l, tn.readReqs.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_read_batch_max%s %d\n", l, tn.maxRead.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_pipeline_batches_total%s %d\n", l, ps.Batches)
+	fmt.Fprintf(w, "dynctrld_tenant_pipeline_requests_total%s %d\n", l, ps.Requests)
+	fmt.Fprintf(w, "dynctrld_tenant_pipeline_batch_max%s %d\n", l, ps.MaxBatch)
+
+	fmt.Fprintf(w, "dynctrld_tenant_transport_messages_total%s %d\n", l, transport)
+	fmt.Fprintf(w, "dynctrld_tenant_control_messages_total%s %d\n", l, snap[dist.CounterControl])
+	fmt.Fprintf(w, "dynctrld_tenant_ctl_grants_total%s %d\n", l, snap[stats.CounterGrants])
+	fmt.Fprintf(w, "dynctrld_tenant_ctl_rejects_total%s %d\n", l, snap[stats.CounterRejects])
+	fmt.Fprintf(w, "dynctrld_tenant_topo_changes_total%s %d\n", l, snap[stats.CounterTopoChanges])
+	fmt.Fprintf(w, "dynctrld_tenant_tree_nodes%s %d\n", l, tn.tr.Size())
+	fmt.Fprintf(w, "dynctrld_tenant_tree_height%s %d\n", l, tn.tr.Height())
+	fmt.Fprintf(w, "dynctrld_tenant_oracle_violations%s %d\n", l, violations)
 }

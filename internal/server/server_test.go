@@ -236,18 +236,22 @@ func TestMetricsz(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
+		"dynctrld_protocol_version 3",
+		"dynctrld_tenants 1",
 		"dynctrld_ops_total 10",
 		"dynctrld_grants_total 10",
 		"dynctrld_rejects_total 0",
 		"dynctrld_errors_total 0",
-		"dynctrld_m 500",
-		"dynctrld_w 50",
 		"dynctrld_paranoid 1",
 		"dynctrld_oracle_violations 0",
 		"dynctrld_connections_open 1",
-		"dynctrld_read_batches_total",
-		"dynctrld_pipeline_requests_total 10",
-		"dynctrld_transport_messages_total",
+		`dynctrld_tenant_m{tenant="default"} 500`,
+		`dynctrld_tenant_w{tenant="default"} 50`,
+		`dynctrld_tenant_ops_total{tenant="default"} 10`,
+		`dynctrld_tenant_oracle_violations{tenant="default"} 0`,
+		`dynctrld_tenant_read_batches_total{tenant="default"}`,
+		`dynctrld_tenant_pipeline_requests_total{tenant="default"} 10`,
+		`dynctrld_tenant_transport_messages_total{tenant="default"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metricsz missing %q:\n%s", want, text)

@@ -12,8 +12,9 @@ import (
 // decodes successfully, re-encoding it must reproduce the identical frame
 // (the codec is canonical: there is exactly one encoding per value).
 func FuzzDecodeFrame(f *testing.F) {
-	f.Add(AppendHello(nil, Hello{Version: Version}))
-	f.Add(AppendWelcome(nil, Welcome{Version: Version, M: 1000, W: 50, TopoSig: 7}))
+	f.Add(AppendHello(nil, Hello{Version: Version, Tenant: "team-a"}))
+	f.Add(AppendHello(nil, Hello{Version: 2})) // legacy tenant-less shape
+	f.Add(AppendWelcome(nil, Welcome{Version: Version, Tenant: "t0", M: 1000, W: 50, TopoSig: 7}))
 	f.Add(AppendSubmit(nil, 3, []Req{
 		{Node: 1, Kind: tree.None},
 		{Node: 2, Kind: tree.AddLeaf},

@@ -8,19 +8,34 @@
 //	uint8   type     (FrameHello, FrameWelcome, ...)
 //	[]byte  payload  (frame-specific, little-endian fixed-width fields)
 //
-// A connection opens with a Hello/Welcome version handshake, then the
-// client streams Submit frames — each a correlation id plus a batch of
-// requests — and the server answers each with a Results frame carrying the
-// same id and one result per request, in order. Results may arrive out of
-// submission order across ids (the server pipelines), so clients match on
-// the id. A RejectWave frame may be pushed by the server at any point after
-// the handshake: it announces that the controller's reject wave has run and
-// every later request will be rejected. An Error frame is connection-fatal.
+// A connection opens with a Hello/Welcome version handshake. The Hello
+// names the tenant namespace the connection binds to; the Welcome echoes
+// the namespace and carries that tenant's admission contract and topology
+// signature. Every later frame on the connection is implicitly scoped to
+// the bound namespace — there is no per-request tenant field, so a
+// connection cannot address another tenant's state at all. A Hello naming
+// an unknown namespace is answered with an Error frame (CodeTenant) and
+// the connection is closed.
+//
+// After the handshake the client streams Submit frames — each a
+// correlation id plus a batch of requests — and the server answers each
+// with a Results frame carrying the same id and one result per request, in
+// order. Results may arrive out of submission order across ids (the server
+// pipelines), so clients match on the id. A RejectWave frame may be pushed
+// by the server at any point after the handshake: it announces that the
+// bound tenant's reject wave has run and every later request will be
+// rejected. An Error frame is connection-fatal.
 //
 // The payload encodings are fixed-width little-endian (no varints): the
 // hot-path frames are Submit and Results, and fixed widths keep encode and
-// decode branch-free per entry. Frames are bounded by MaxFrame; a decoder
-// must reject anything larger before allocating.
+// decode branch-free per entry. The tenant name in the handshake frames is
+// the one variable-width field (u16 length + bytes), paid once per
+// connection. Frames are bounded by MaxFrame; a decoder must reject
+// anything larger before allocating.
+//
+// The normative protocol document — framing, version negotiation, every
+// frame's field table, error codes, and the tenant-scoping rules — is
+// docs/PROTOCOL.md; this package is its reference implementation.
 package wire
 
 import (
@@ -35,8 +50,39 @@ import (
 // Version is the protocol version spoken by this package. A server answers
 // a Hello carrying an unknown version with an Error frame (CodeVersion) and
 // closes the connection. Version 2 added the server's durability
-// incarnation to the Welcome frame.
-const Version = 2
+// incarnation to the Welcome frame; version 3 added the tenant namespace
+// to both handshake frames (Hello names the namespace the connection binds
+// to, Welcome echoes it). DecodeHello still accepts the v1/v2 frame shape,
+// so a server can refuse an old client with a typed CodeVersion error
+// instead of a protocol error or a hang.
+const Version = 3
+
+// DefaultTenant is the namespace a connection binds to when the client
+// does not name one, and the namespace a single-tenant daemon serves.
+const DefaultTenant = "default"
+
+// MaxTenantLen bounds the tenant namespace name in the handshake frames.
+const MaxTenantLen = 64
+
+// ValidTenant reports whether name is a legal tenant namespace: 1 to
+// MaxTenantLen bytes of lowercase letters, digits, '-' or '_', starting
+// with a letter or digit. Names double as WAL subdirectory names and
+// /metricsz label values, so the alphabet is deliberately narrow.
+func ValidTenant(name string) bool {
+	if len(name) < 1 || len(name) > MaxTenantLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // MaxFrame bounds the length prefix (type byte + payload) of every frame.
 // It admits a Submit batch of over 60k requests, far above any sane
@@ -110,6 +156,10 @@ const (
 	CodeVersion uint8 = 10
 	// CodeProtocol: a malformed or unexpected frame was received.
 	CodeProtocol uint8 = 11
+	// CodeTenant: the Hello named a tenant namespace this server does not
+	// serve (or a malformed name). The connection is never bound; nothing
+	// the client sends can touch any tenant's state.
+	CodeTenant uint8 = 12
 )
 
 // Decode errors.
@@ -120,6 +170,9 @@ var (
 	ErrShortPayload = errors.New("wire: truncated payload")
 	// ErrBadKind is returned for an out-of-range request kind.
 	ErrBadKind = errors.New("wire: invalid request kind")
+	// ErrBadTenant is returned for a handshake tenant name that fails
+	// ValidTenant.
+	ErrBadTenant = errors.New("wire: invalid tenant name")
 )
 
 // Req is one request on the wire: the node the request arrives at, the
@@ -141,21 +194,26 @@ type Result struct {
 	NewNode tree.NodeID
 }
 
-// Hello is the client's opening frame.
+// Hello is the client's opening frame. Tenant names the namespace the
+// connection binds to (DefaultTenant when the client left it empty); in
+// the v1/v2 frame shape the field is absent and decodes as "".
 type Hello struct {
 	Version uint16
+	Tenant  string
 }
 
 // Welcome is the server's handshake answer: the protocol version it will
-// speak and the admission contract it arbitrates. TopoSig is a signature of
-// the server's initial topology (workload.TopologySignature) so a load
-// generator replaying a scenario can verify it reconstructed the same tree.
-// Incarnation is the server's durability incarnation — how many times its
-// WAL directory has been opened — so a client can tell it reconnected to a
-// restarted (state-recovered) daemon rather than a fresh one; servers
-// without a WAL report 0.
+// speak, the tenant namespace the connection is now bound to (echoing the
+// Hello), and that tenant's admission contract. TopoSig is a signature of
+// the tenant's initial topology (workload.TopologySignature) so a load
+// generator replaying a scenario can verify it reconstructed the same
+// tree. Incarnation is the tenant's durability incarnation — how many
+// times its WAL directory has been opened — so a client can tell it
+// reconnected to a restarted (state-recovered) daemon rather than a fresh
+// one; tenants without a WAL report 0.
 type Welcome struct {
 	Version     uint16
+	Tenant      string
 	M, W        int64
 	TopoSig     uint64
 	Incarnation uint64
@@ -209,16 +267,47 @@ func appendHeader(buf []byte, t FrameType, n int) []byte {
 	return append(buf, byte(t))
 }
 
-// AppendHello appends an encoded Hello frame to buf.
+// appendTenant appends the u16-length-prefixed tenant name. Names longer
+// than MaxTenantLen are truncated (encoders should have validated with
+// ValidTenant already; truncation only keeps a buggy caller within frame
+// bounds).
+func appendTenant(buf []byte, tenant string) []byte {
+	if len(tenant) > MaxTenantLen {
+		tenant = tenant[:MaxTenantLen]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(tenant)))
+	return append(buf, tenant...)
+}
+
+// AppendHello appends an encoded Hello frame to buf. Versions below 3 are
+// encoded in the legacy tenant-less shape (the codec is canonical per
+// version); for v3+ an empty Tenant is sent as DefaultTenant.
 func AppendHello(buf []byte, h Hello) []byte {
-	buf = appendHeader(buf, FrameHello, 2)
-	return binary.LittleEndian.AppendUint16(buf, h.Version)
+	if h.Version < 3 {
+		buf = appendHeader(buf, FrameHello, 2)
+		return binary.LittleEndian.AppendUint16(buf, h.Version)
+	}
+	tenant := h.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if len(tenant) > MaxTenantLen {
+		tenant = tenant[:MaxTenantLen]
+	}
+	buf = appendHeader(buf, FrameHello, 2+2+len(tenant))
+	buf = binary.LittleEndian.AppendUint16(buf, h.Version)
+	return appendTenant(buf, tenant)
 }
 
 // AppendWelcome appends an encoded Welcome frame to buf.
 func AppendWelcome(buf []byte, w Welcome) []byte {
-	buf = appendHeader(buf, FrameWelcome, 2+8+8+8+8)
+	tenant := w.Tenant
+	if len(tenant) > MaxTenantLen {
+		tenant = tenant[:MaxTenantLen]
+	}
+	buf = appendHeader(buf, FrameWelcome, 2+2+len(tenant)+8+8+8+8)
 	buf = binary.LittleEndian.AppendUint16(buf, w.Version)
+	buf = appendTenant(buf, tenant)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.M))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.W))
 	buf = binary.LittleEndian.AppendUint64(buf, w.TopoSig)
@@ -351,6 +440,23 @@ func (b *byteReader) u64() (uint64, error) {
 	return v, nil
 }
 
+// tenant reads a u16-length-prefixed tenant name and validates it.
+func (b *byteReader) tenant() (string, error) {
+	n, err := b.u16()
+	if err != nil {
+		return "", err
+	}
+	if b.off+int(n) > len(b.p) {
+		return "", ErrShortPayload
+	}
+	name := string(b.p[b.off : b.off+int(n)])
+	b.off += int(n)
+	if !ValidTenant(name) {
+		return "", fmt.Errorf("%w: %q", ErrBadTenant, name)
+	}
+	return name, nil
+}
+
 func (b *byteReader) trailing() error {
 	if b.off != len(b.p) {
 		return fmt.Errorf("wire: %d trailing payload bytes", len(b.p)-b.off)
@@ -358,17 +464,29 @@ func (b *byteReader) trailing() error {
 	return nil
 }
 
-// DecodeHello decodes a Hello payload.
+// DecodeHello decodes a Hello payload. The v1/v2 frame shape — a bare
+// version with no tenant field — still decodes cleanly (Tenant ""), so a
+// server can answer an old client with a typed CodeVersion error instead
+// of tearing the connection down on a framing error. The v3 shape carries
+// the tenant name, which is validated here.
 func DecodeHello(p []byte) (Hello, error) {
 	b := byteReader{p: p}
 	v, err := b.u16()
 	if err != nil {
 		return Hello{}, err
 	}
-	return Hello{Version: v}, b.trailing()
+	if v < 3 {
+		// Pre-tenancy Hello: nothing after the version.
+		return Hello{Version: v}, b.trailing()
+	}
+	tenant, err := b.tenant()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Version: v, Tenant: tenant}, b.trailing()
 }
 
-// DecodeWelcome decodes a Welcome payload.
+// DecodeWelcome decodes a Welcome payload (v3 shape).
 func DecodeWelcome(p []byte) (Welcome, error) {
 	b := byteReader{p: p}
 	var w Welcome
@@ -377,6 +495,11 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 		return w, err
 	}
 	w.Version = v
+	tenant, err := b.tenant()
+	if err != nil {
+		return w, err
+	}
+	w.Tenant = tenant
 	m, err := b.u64()
 	if err != nil {
 		return w, err

@@ -26,7 +26,7 @@ func readOne(t *testing.T, enc []byte) (FrameType, []byte) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{Version: Version}
+	in := Hello{Version: Version, Tenant: "team-a"}
 	ft, p := readOne(t, AppendHello(nil, in))
 	if ft != FrameHello {
 		t.Fatalf("frame type %v, want hello", ft)
@@ -40,8 +40,69 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloEmptyTenantDefaults(t *testing.T) {
+	_, p := readOne(t, AppendHello(nil, Hello{Version: Version}))
+	out, err := DecodeHello(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Tenant != DefaultTenant {
+		t.Fatalf("empty tenant encoded as %q, want %q", out.Tenant, DefaultTenant)
+	}
+}
+
+func TestHelloLegacyShapeDecodes(t *testing.T) {
+	// A v2 client's Hello has no tenant field. It must decode cleanly —
+	// the server answers with a typed CodeVersion error, never a framing
+	// error or a hang — and re-encode canonically.
+	enc := AppendHello(nil, Hello{Version: 2})
+	ft, p := readOne(t, enc)
+	if ft != FrameHello {
+		t.Fatalf("frame type %v, want hello", ft)
+	}
+	if len(p) != 2 {
+		t.Fatalf("legacy hello payload %d bytes, want 2", len(p))
+	}
+	out, err := DecodeHello(p)
+	if err != nil {
+		t.Fatalf("decode legacy hello: %v", err)
+	}
+	if out.Version != 2 || out.Tenant != "" {
+		t.Fatalf("legacy hello decoded as %+v, want {Version:2}", out)
+	}
+	if reenc := AppendHello(nil, out); !bytes.Equal(reenc, enc) {
+		t.Fatalf("legacy hello not canonical:\n in %x\nout %x", enc, reenc)
+	}
+}
+
+func TestHelloRejectsBadTenant(t *testing.T) {
+	for _, bad := range []string{"", "-leading", "Upper", "has space", strings.Repeat("x", MaxTenantLen+1)} {
+		var enc []byte
+		enc = appendHeader(enc, FrameHello, 2+2+len(bad))
+		enc = append(enc, byte(Version), 0)
+		enc = append(enc, byte(len(bad)), byte(len(bad)>>8))
+		enc = append(enc, bad...)
+		_, p := readOne(t, enc)
+		if _, err := DecodeHello(p); !errors.Is(err, ErrBadTenant) {
+			t.Fatalf("tenant %q: err %v, want ErrBadTenant", bad, err)
+		}
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	for name, want := range map[string]bool{
+		"default": true, "team-a": true, "a": true, "t_0": true,
+		"": false, "-x": false, "_x": false, "A": false, "a.b": false,
+		strings.Repeat("z", MaxTenantLen): true, strings.Repeat("z", MaxTenantLen+1): false,
+	} {
+		if got := ValidTenant(name); got != want {
+			t.Errorf("ValidTenant(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
 func TestWelcomeRoundTrip(t *testing.T) {
-	in := Welcome{Version: 7, M: 1 << 40, W: 12345, TopoSig: 0xdeadbeefcafe, Incarnation: 42}
+	in := Welcome{Version: Version, Tenant: "team-b", M: 1 << 40, W: 12345, TopoSig: 0xdeadbeefcafe, Incarnation: 42}
 	ft, p := readOne(t, AppendWelcome(nil, in))
 	if ft != FrameWelcome {
 		t.Fatalf("frame type %v, want welcome", ft)
@@ -221,7 +282,7 @@ func TestDecodeSubmitRejectsCountMismatch(t *testing.T) {
 
 func TestDecodeTruncatedPayloads(t *testing.T) {
 	frames := map[string][]byte{
-		"welcome":     AppendWelcome(nil, Welcome{Version: 1, M: 10, W: 5, TopoSig: 3}),
+		"welcome":     AppendWelcome(nil, Welcome{Version: Version, Tenant: "t0", M: 10, W: 5, TopoSig: 3}),
 		"reject-wave": AppendRejectWave(nil, RejectWave{Granted: 9}),
 		"error":       AppendError(nil, ErrorFrame{Code: CodeProtocol, Detail: "x"}),
 	}
