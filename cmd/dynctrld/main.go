@@ -121,6 +121,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "pipeline combining bound (0 = default)")
 	readBatch := flag.Int("read-batch", 0, "per-connection read-coalescing bound in requests (0 = default)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection idle read deadline, re-armed before every frame (0 disables; dribbling peers are reaped after this long without a complete frame)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability and boot-time recovery")
 	snapshotEvery := flag.Int64("snapshot-every", 0, "checkpoint the full state every n logged effects (0 = default, <0 disables)")
 	verifyWAL := flag.Bool("verify-wal", false, "audit -wal-dir with the cross-incarnation oracle and exit")
@@ -139,6 +140,7 @@ func main() {
 		Paranoid:    *paranoid,
 		MaxBatch:    *maxBatch,
 		ReadBatch:   *readBatch,
+		IdleTimeout: *idleTimeout,
 	}
 	cfg.WALDir = *walDir
 	cfg.SnapshotEvery = *snapshotEvery

@@ -7,6 +7,14 @@
 //	loadgen -addr 127.0.0.1:7700 -scenario churn-storm -conns 8
 //	loadgen -addr 127.0.0.1:7700 -duration 5s -min-requests 100000 \
 //	        -metrics 127.0.0.1:7701
+//	loadgen -addr 127.0.0.1:7700 -rate 20000 -arrival poisson -requests 100000
+//
+// With -rate the generator switches from the closed-loop chunked replay
+// to an open loop: arrivals follow a precomputed Poisson or
+// fixed-interval schedule regardless of how fast the daemon answers, and
+// each request's latency is measured from its *scheduled* arrival — the
+// coordinated-omission-safe convention — with p50/p99/p999 reported in
+// the summary's latency block.
 //
 // The generator reconstructs the daemon's initial topology from the same
 // (scenario | -topology/-nodes, -seed) parameters — the handshake's
@@ -61,6 +69,9 @@ func main() {
 	minRequests := flag.Int64("min-requests", 0, "fail unless at least this many requests completed")
 	label := flag.String("label", "loadgen", "label naming this run")
 	out := flag.String("out", "", "also write the JSON summary to this path")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/s (0 = closed-loop chunked replay)")
+	arrival := flag.String("arrival", "poisson", "open-loop arrival process: poisson or fixed")
+	openWorkers := flag.Int("open-workers", 0, "open-loop in-flight submission bound (0 = default)")
 	flag.Parse()
 
 	sc := workload.Scenario{
@@ -94,21 +105,65 @@ func main() {
 	logf("connected to %s tenant %q: M=%d W=%d incarnation=%d, %d conns, trace %d requests (%s)",
 		*addr, cl.Tenant(), cl.M(), cl.W(), cl.Incarnation(), *conns, ct.Len(), sc.Name)
 
-	var total workload.ConcurrentResult
-	t0 := time.Now()
-	rounds := 0
-	for {
-		res := workload.RunConcurrentChunked(cl, ct, *chunk)
-		total.Granted += res.Granted
-		total.Rejected += res.Rejected
-		total.Errors += res.Errors
-		total.Submitted += res.Submitted
-		rounds++
-		if *duration <= 0 || time.Since(t0) >= *duration {
-			break
+	var (
+		total   workload.ConcurrentResult
+		elapsed time.Duration
+		rounds  int
+		latency *benchfmt.Latency
+	)
+	if *rate > 0 {
+		// Open loop: arrivals follow the schedule no matter how fast the
+		// daemon answers, and latency is charged from the scheduled arrival
+		// (coordinated-omission safe).
+		n := *requests
+		if n <= 0 && *duration > 0 {
+			n = int(*rate * duration.Seconds())
 		}
+		if n <= 0 {
+			n = ct.Len()
+		}
+		res, err := workload.RunOpenLoop(cl, ct.Serial(), workload.OpenLoopSpec{
+			Rate:    *rate,
+			Arrival: *arrival,
+			Total:   n,
+			Workers: *openWorkers,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		total, elapsed, rounds = res.ConcurrentResult, res.Elapsed, 1
+		latency = &benchfmt.Latency{
+			Unit:       "ns",
+			P50:        float64(res.Hist.Quantile(0.50)),
+			P99:        float64(res.Hist.Quantile(0.99)),
+			P999:       float64(res.Hist.Quantile(0.999)),
+			Max:        float64(res.Hist.Max()),
+			Mean:       res.Hist.Mean(),
+			Count:      res.Hist.Count(),
+			TargetRate: *rate,
+			Arrival:    *arrival,
+		}
+		logf("open loop: %s arrivals at %.0f req/s target, p50=%s p99=%s p999=%s",
+			*arrival, *rate,
+			time.Duration(res.Hist.Quantile(0.50)),
+			time.Duration(res.Hist.Quantile(0.99)),
+			time.Duration(res.Hist.Quantile(0.999)))
+	} else {
+		t0 := time.Now()
+		for {
+			res := workload.RunConcurrentChunked(cl, ct, *chunk)
+			total.Granted += res.Granted
+			total.Rejected += res.Rejected
+			total.Errors += res.Errors
+			total.Submitted += res.Submitted
+			rounds++
+			if *duration <= 0 || time.Since(t0) >= *duration {
+				break
+			}
+		}
+		elapsed = time.Since(t0)
 	}
-	elapsed := time.Since(t0)
 
 	opsPerSec := float64(total.Submitted) / elapsed.Seconds()
 	// A daemon running without a WAL reports incarnation 0 in the
@@ -145,6 +200,7 @@ func main() {
 				Durability: durability,
 				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
 				OpsPerSec:  opsPerSec,
+				Latency:    latency,
 			},
 		},
 	}

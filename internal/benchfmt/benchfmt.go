@@ -17,8 +17,9 @@ import (
 // BENCH_baseline.json. Schema 2 added the scenario/scheduler labels;
 // schema 3 added the transport dimension (inproc vs tcp) when the service
 // boundary landed; schema 4 added the durability dimension (none | wal |
-// wal+snap) with the write-ahead-log engine.
-const SchemaVersion = 4
+// wal+snap) with the write-ahead-log engine; schema 5 added the open-loop
+// latency block (coordinated-omission-safe p50/p99/p999).
+const SchemaVersion = 5
 
 // Transports a measurement can run over.
 const (
@@ -39,19 +40,56 @@ const (
 	DurabilityWALSnap = "wal+snap"
 )
 
+// Arrival processes an open-loop measurement can schedule requests with.
+const (
+	// ArrivalPoisson draws exponentially distributed inter-arrival gaps.
+	ArrivalPoisson = "poisson"
+	// ArrivalFixed spaces arrivals exactly 1/rate apart.
+	ArrivalFixed = "fixed"
+)
+
+// Latency is the schema-5 open-loop latency block: quantiles of the
+// per-request latency measured from each request's *scheduled* arrival
+// time (not its actual send time), so queueing delay behind a slow server
+// is charged to the server — the coordinated-omission-safe convention.
+// All values are nanoseconds from an HDR-style log-linear histogram
+// (internal/hdr, <=1.6% relative quantization error).
+type Latency struct {
+	// Unit is always "ns".
+	Unit string `json:"unit"`
+	// P50, P99 and P999 are the headline quantiles.
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	// Max and Mean are exact (not quantized).
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	// Count is the number of completed requests behind the quantiles.
+	Count int64 `json:"count"`
+	// TargetRate is the arrival rate the open-loop generator scheduled
+	// (requests/second); compare against the measurement's OpsPerSec to
+	// see whether the server kept up.
+	TargetRate float64 `json:"target_rate"`
+	// Arrival is the arrival process (ArrivalPoisson or ArrivalFixed).
+	Arrival string `json:"arrival"`
+}
+
 // Measurement is one measured submission path. Scenario, Scheduler,
 // Transport and Durability pin what ran where, so a baseline comparison
-// can refuse to compare measurements of different runs.
+// can refuse to compare measurements of different runs. Latency is only
+// set by open-loop runs; closed-loop throughput measurements leave it
+// nil.
 type Measurement struct {
-	Scenario    string  `json:"scenario"`
-	Scheduler   string  `json:"scheduler"`
-	Transport   string  `json:"transport"`
-	Durability  string  `json:"durability"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	MsgsPerOp   float64 `json:"messages_per_op"`
+	Scenario    string   `json:"scenario"`
+	Scheduler   string   `json:"scheduler"`
+	Transport   string   `json:"transport"`
+	Durability  string   `json:"durability"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	OpsPerSec   float64  `json:"ops_per_sec"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op"`
+	MsgsPerOp   float64  `json:"messages_per_op"`
+	Latency     *Latency `json:"latency,omitempty"`
 }
 
 // Report is the BENCH_<label>.json document.
@@ -125,6 +163,24 @@ func CompareBaseline(base, cur Report, maxRegress float64, log io.Writer) error 
 				" not comparable (rerun with matching flags or refresh the baseline)",
 				name, b.Scenario, b.Scheduler, b.Transport, b.Durability,
 				c.Scenario, c.Scheduler, c.Transport, c.Durability)
+		}
+		if b.Latency != nil {
+			if c.Latency == nil {
+				return fmt.Errorf("%s: baseline carries an open-loop latency block, current run does not:"+
+					" not comparable (rerun with matching flags or refresh the baseline)", name)
+			}
+			if b.Latency.Arrival != c.Latency.Arrival || b.Latency.TargetRate != c.Latency.TargetRate {
+				return fmt.Errorf("%s: baseline open loop is %s@%.0f/s, current %s@%.0f/s:"+
+					" not comparable (rerun with matching flags or refresh the baseline)",
+					name, b.Latency.Arrival, b.Latency.TargetRate, c.Latency.Arrival, c.Latency.TargetRate)
+			}
+			// Latency is reported but not gated: tail quantiles on shared CI
+			// runners are too noisy for a hard regression bound, and the
+			// achieved-rate (OpsPerSec) gate below already catches a server
+			// that stops keeping up with the scheduled arrivals.
+			fmt.Fprintf(log, "benchfmt: %-8s baseline p50/p99/p999 %.0f/%.0f/%.0f ns, current %.0f/%.0f/%.0f ns\n",
+				name, b.Latency.P50, b.Latency.P99, b.Latency.P999,
+				c.Latency.P50, c.Latency.P99, c.Latency.P999)
 		}
 		if b.OpsPerSec <= 0 {
 			continue

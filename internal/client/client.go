@@ -29,6 +29,20 @@ import (
 // ErrClosed is returned by submissions after Close.
 var ErrClosed = errors.New("client: closed")
 
+// ErrWriteTimeout is wrapped into the error failing a SubmitMany whose
+// Submit frame could not be written within Options.WriteTimeout — the
+// stalled-server case: TCP flow control has backed all the way up into
+// this client because the peer stopped reading. The connection is dead
+// (failAll) and every call pending on it fails with this error; match it
+// with errors.Is.
+var ErrWriteTimeout = errors.New("client: write timed out")
+
+// ErrHandshake is wrapped into errors from a handshake that died on the
+// wire (connection killed between Hello and Welcome, truncated or
+// unexpected frames). A server that answers the handshake but *refuses*
+// it returns a *HandshakeError instead.
+var ErrHandshake = errors.New("client: handshake failed")
+
 // ResultError is the typed error carried by a per-request wire result with
 // a non-OK code.
 type ResultError struct {
@@ -74,6 +88,14 @@ type Options struct {
 	Tenant string
 	// DialTimeout bounds each TCP dial plus handshake (default 10s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each Submit frame write (default 30s — a
+	// generous bound, not infinite: a server that stops reading must
+	// eventually fail the call instead of wedging the connection's submit
+	// mutex, and with it every later Submit routed to that pooled
+	// connection, forever). A timed-out write kills the connection and
+	// fails its pending calls with an error wrapping ErrWriteTimeout.
+	// Negative disables the deadline entirely.
+	WriteTimeout time.Duration
 	// OnRejectWave, when set, is invoked once when the server announces the
 	// reject wave, with the server's grant count at that point.
 	OnRejectWave func(granted int64)
@@ -109,6 +131,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
 	}
+	switch {
+	case opts.WriteTimeout == 0:
+		opts.WriteTimeout = 30 * time.Second
+	case opts.WriteTimeout < 0:
+		opts.WriteTimeout = 0 // explicit opt-out: no write deadline
+	}
 	c := &Client{opts: opts}
 	for i := 0; i < opts.Conns; i++ {
 		cc, err := c.dialOne(addr)
@@ -137,12 +165,21 @@ func (c *Client) dialOne(addr string) (*cliConn, error) {
 		bw:      bufio.NewWriterSize(nc, 64<<10),
 		pending: map[uint64]*pendingCall{},
 	}
-	nc.SetDeadline(time.Now().Add(c.opts.DialTimeout)) //nolint:errcheck
+	// A deadline that cannot be armed or cleared is connection-fatal: an
+	// undeadlined handshake could hang forever, and a conn stuck behind a
+	// stale deadline would poison every later call routed to it.
+	if err := nc.SetDeadline(time.Now().Add(c.opts.DialTimeout)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("%w: arm dial deadline: %v", ErrHandshake, err)
+	}
 	if err := cc.handshake(); err != nil {
 		nc.Close()
 		return nil, err
 	}
-	nc.SetDeadline(time.Time{}) //nolint:errcheck
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("%w: clear dial deadline: %v", ErrHandshake, err)
+	}
 	go cc.readLoop()
 	return cc, nil
 }
@@ -281,12 +318,14 @@ type cliConn struct {
 func (cc *cliConn) handshake() error {
 	cc.wbuf = wire.AppendHello(cc.wbuf[:0], wire.Hello{Version: wire.Version, Tenant: cc.cl.opts.Tenant})
 	if _, err := cc.nc.Write(cc.wbuf); err != nil {
-		return err
+		return fmt.Errorf("%w: write hello: %v", ErrHandshake, err)
 	}
 	var rbuf []byte
 	ft, p, err := wire.ReadFrame(cc.nc, &rbuf)
 	if err != nil {
-		return fmt.Errorf("client: handshake read: %w", err)
+		// The connection died between Hello and Welcome (or dribbled past
+		// the deadline): a typed, prompt error, never a hang.
+		return fmt.Errorf("%w: read: %v", ErrHandshake, err)
 	}
 	switch ft {
 	case wire.FrameWelcome:
@@ -309,7 +348,7 @@ func (cc *cliConn) handshake() error {
 		}
 		return &HandshakeError{Code: e.Code, Detail: e.Detail}
 	default:
-		return fmt.Errorf("client: unexpected %v frame in handshake", ft)
+		return fmt.Errorf("%w: unexpected %v frame", ErrHandshake, ft)
 	}
 }
 
@@ -339,12 +378,32 @@ func (cc *cliConn) roundTrip(reqs []controller.Request, out []controller.BatchRe
 		wr[i] = wire.Req{Node: r.Node, Kind: r.Kind, Child: r.Child}
 	}
 	cc.wbuf = wire.AppendSubmit(cc.wbuf[:0], id, wr)
-	_, werr := cc.bw.Write(cc.wbuf)
+	// Write deadline: a server (or network) that stopped reading backs TCP
+	// flow control up into this write, which would otherwise block forever
+	// while holding wmu — wedging every subsequent Submit routed to this
+	// pooled connection. The deadline is armed per frame and cleared after
+	// a successful flush; failures to arm or clear are connection-fatal
+	// (the conn would be undeadlined or permanently deadlined).
+	wt := cc.cl.opts.WriteTimeout
+	var werr error
+	if wt > 0 {
+		werr = cc.nc.SetWriteDeadline(time.Now().Add(wt))
+	}
 	if werr == nil {
-		werr = cc.bw.Flush()
+		_, werr = cc.bw.Write(cc.wbuf)
+		if werr == nil {
+			werr = cc.bw.Flush()
+		}
+		if werr == nil && wt > 0 {
+			werr = cc.nc.SetWriteDeadline(time.Time{})
+		}
 	}
 	cc.wmu.Unlock()
 	if werr != nil {
+		var ne net.Error
+		if errors.As(werr, &ne) && ne.Timeout() {
+			werr = fmt.Errorf("%w after %v: %v", ErrWriteTimeout, wt, werr)
+		}
 		cc.failAll(werr)
 		return out, werr, true
 	}

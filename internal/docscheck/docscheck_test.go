@@ -1,8 +1,9 @@
 // Package docscheck is the documentation drift gate: a test-only package
 // asserting that the normative documents under docs/ keep up with the
 // code. It checks that every relative markdown link in docs/ and the
-// README resolves, that every /metricsz field the server emits is
-// documented in docs/OPERATIONS.md, and that every wire frame type and
+// README resolves, that every /metricsz field the server emits and
+// every CLI flag dynctrld and loadgen declare is documented in
+// docs/OPERATIONS.md, and that every wire frame type and
 // error code is documented in docs/PROTOCOL.md. CI runs it as the docs
 // job, so adding a metric or a wire code without documenting it fails
 // the build.
@@ -95,6 +96,28 @@ func TestMetricsFieldsDocumented(t *testing.T) {
 	}
 	if len(seen) < 20 {
 		t.Fatalf("extracted only %d metric names from internal/server/server.go — the extractor regex is likely stale", len(seen))
+	}
+}
+
+// TestCommandFlagsDocumented extracts every CLI flag declared by
+// cmd/dynctrld and cmd/loadgen and requires docs/OPERATIONS.md to
+// document each one as `-name`.
+func TestCommandFlagsDocumented(t *testing.T) {
+	doc := readFile(t, filepath.Join("docs", "OPERATIONS.md"))
+	flagDecl := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\("([a-z-]+)"`)
+	flagVar := regexp.MustCompile(`flag\.Var\([^,]+, "([a-z-]+)"`)
+	for _, cmd := range []string{"dynctrld", "loadgen"} {
+		src := readFile(t, filepath.Join("cmd", cmd, "main.go"))
+		names := flagDecl.FindAllStringSubmatch(src, -1)
+		names = append(names, flagVar.FindAllStringSubmatch(src, -1)...)
+		if len(names) < 10 {
+			t.Fatalf("extracted only %d flags from cmd/%s/main.go — the extractor regex is likely stale", len(names), cmd)
+		}
+		for _, m := range names {
+			if !strings.Contains(doc, "`-"+m[1]+"`") {
+				t.Errorf("cmd/%s flag -%s is not documented in docs/OPERATIONS.md", cmd, m[1])
+			}
+		}
 	}
 }
 

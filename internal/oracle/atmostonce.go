@@ -1,0 +1,120 @@
+package oracle
+
+// This file adds the hostile-network checker: at-most-once grant
+// semantics and exact accounting across a lossy, duplicating, reordering
+// network. The setting is a wire client whose connections are being
+// killed, stalled and replayed by the network (see internal/faultnet):
+// replies can be lost after the server executed a batch, so the client's
+// view may lag the server's — but it must never *lead* it. The checker
+// works from observable tallies alone, the package's house style: the
+// client folds everything it saw into a TenantTrace, the server reports
+// its wire-level accounting and its controller counters, and
+// CheckAtMostOnce validates the containment chain
+//
+//	client-observed <= server-answered <= server-executed <= M
+//
+// A duplicated Results frame that slipped a grant into the client twice,
+// a retried batch that burned permits twice behind the caller's back, or
+// accounting that drifted from execution each breaks one link.
+
+import "fmt"
+
+// WireTally is one side's count of request verdicts on the wire.
+type WireTally struct {
+	// Ops is the total number of per-request verdicts (grants + rejects +
+	// errors).
+	Ops int64
+	// Granted, Rejected and Errors split Ops by verdict.
+	Granted, Rejected, Errors int64
+}
+
+// AtMostOnceReport is everything CheckAtMostOnce needs about one faulted
+// run.
+type AtMostOnceReport struct {
+	// Tenant names the namespace, for violation messages.
+	Tenant string
+	// M is the tenant's permit bound.
+	M int64
+	// Client is what the clients observed: verdicts actually delivered
+	// over the (faulted) network, summed over every connection and retry.
+	Client WireTally
+	// Server is the server's wire-level accounting: verdicts it counted
+	// when answering (tallied before the reply hits the socket, so it may
+	// exceed what any client received — never the reverse).
+	Server WireTally
+	// Executed is the server's controller-level grant count (summed over
+	// incarnations for a recovered server): every permit actually burned,
+	// including batches whose replies were lost before accounting.
+	Executed int64
+}
+
+// CheckAtMostOnce validates the containment chain of a faulted run.
+// Violations carry Request = -1 (they are about totals, not a single
+// request).
+func CheckAtMostOnce(r AtMostOnceReport) []Violation {
+	var out []Violation
+	report := func(invariant, format string, args ...any) {
+		out = append(out, Violation{
+			Invariant: invariant,
+			Request:   -1,
+			Detail:    fmt.Sprintf("tenant %q: ", r.Tenant) + fmt.Sprintf(format, args...),
+		})
+	}
+
+	if sum := r.Client.Granted + r.Client.Rejected + r.Client.Errors; sum != r.Client.Ops {
+		report("at-most-once-client-tally", "client verdicts %d+%d+%d != ops %d",
+			r.Client.Granted, r.Client.Rejected, r.Client.Errors, r.Client.Ops)
+	}
+	if sum := r.Server.Granted + r.Server.Rejected + r.Server.Errors; sum != r.Server.Ops {
+		report("at-most-once-server-tally", "server verdicts %d+%d+%d != ops %d",
+			r.Server.Granted, r.Server.Rejected, r.Server.Errors, r.Server.Ops)
+	}
+
+	// The client can miss replies the server sent into a dead connection,
+	// but can never observe a verdict the server did not answer.
+	if r.Client.Granted > r.Server.Granted {
+		report("at-most-once-grants", "clients observed %d grants, server answered only %d"+
+			" (a duplicated or replayed grant was double-counted)", r.Client.Granted, r.Server.Granted)
+	}
+	if r.Client.Rejected > r.Server.Rejected {
+		report("at-most-once-rejects", "clients observed %d rejects, server answered only %d",
+			r.Client.Rejected, r.Server.Rejected)
+	}
+
+	// The server accounts a verdict only after the controller produced it,
+	// so answered grants are bounded by executed grants ...
+	if r.Server.Granted > r.Executed {
+		report("at-most-once-accounting", "server answered %d grants but executed only %d"+
+			" (accounting drifted from execution)", r.Server.Granted, r.Executed)
+	}
+	// ... and execution is bounded by the paper's safety counter, crash or
+	// no crash.
+	if r.Executed > r.M {
+		report("safety-counter", "executed %d grants with M = %d", r.Executed, r.M)
+	}
+	return out
+}
+
+// CheckSerialsUnique reports every serial number that appears more than
+// once in serials — the client-side half of exactly-once naming: even
+// under replayed frames, no two grants the clients accepted may carry
+// the same serial. Zero serials (controllers running without serial
+// naming) are ignored.
+func CheckSerialsUnique(serials []int64) []Violation {
+	seen := make(map[int64]int, len(serials))
+	var out []Violation
+	for _, s := range serials {
+		if s == 0 {
+			continue
+		}
+		seen[s]++
+		if seen[s] == 2 {
+			out = append(out, Violation{
+				Invariant: "serial-unique",
+				Request:   -1,
+				Detail:    fmt.Sprintf("serial %d delivered to clients more than once", s),
+			})
+		}
+	}
+	return out
+}

@@ -74,3 +74,10 @@ func (s *Server) ReadBatchStatsForTests() (int64, int64, int64) {
 	tn := s.defaultTenant()
 	return tn.readBatches.Load(), tn.readReqs.Load(), tn.maxRead.Load()
 }
+
+// ConnLifecycleForTests samples the first tenant's (connsOpen,
+// connsTotal, idleTimeouts) for the lifecycle tests.
+func (s *Server) ConnLifecycleForTests() (open, total, idle int64) {
+	tn := s.defaultTenant()
+	return tn.connsOpen.Load(), tn.connsTotal.Load(), tn.idleTimeouts.Load()
+}

@@ -128,6 +128,17 @@ type Config struct {
 	MaxBatch  int
 	ReadBatch int
 
+	// IdleTimeout, when positive, arms a rolling read deadline on every
+	// bound connection: each frame must complete within IdleTimeout of
+	// the previous one, so an idle or byte-dribbling (slow-loris) peer is
+	// disconnected instead of holding its goroutine, read buffer and
+	// tenant-stack reference forever. Zero (the default) keeps
+	// connections undeadlined after the handshake.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the Hello frame (0 =
+	// DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+
 	// WALDir enables the durability engine: each tenant logs decided
 	// batches to WALDir/<tenant-name> and recovers from it on boot. Empty
 	// runs in-memory only.
@@ -151,6 +162,11 @@ const DefaultSnapshotEvery = 1 << 18
 // DefaultCommitWindow is the group-commit coalescing window: batches
 // decided within one window of each other share one fsync.
 const DefaultCommitWindow = 200 * time.Microsecond
+
+// DefaultHandshakeTimeout bounds the handshake when
+// Config.HandshakeTimeout is zero: a connection that has not completed
+// its Hello within this window is dropped.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 // tenant is one namespace's private admission stack plus its wire-level
 // accounting. Nothing in here is shared between tenants: the tree, the
@@ -182,6 +198,7 @@ type tenant struct {
 	readBatches, readReqs      atomic.Int64
 	maxRead                    atomic.Int64
 	connsOpen, connsTotal      atomic.Int64
+	idleTimeouts               atomic.Int64
 	rejectWave                 atomic.Bool
 	waveGranted                atomic.Int64
 }
@@ -810,8 +827,16 @@ func (c *srvConn) serve() {
 
 	// Handshake: exactly one Hello, answered with Welcome. The Hello names
 	// the tenant namespace the connection binds to; everything after the
-	// handshake is implicitly scoped to it.
-	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	// handshake is implicitly scoped to it. A deadline that cannot be
+	// armed is connection-fatal: serving an undeadlined handshake would
+	// hand a slow-loris peer a goroutine forever.
+	hsTimeout := c.s.cfg.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = DefaultHandshakeTimeout
+	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(hsTimeout)); err != nil {
+		return
+	}
 	ft, p, err := wire.ReadFrame(c.br, &rbuf)
 	if err != nil {
 		return
@@ -841,7 +866,15 @@ func (c *srvConn) serve() {
 	c.tn = tn
 	tn.connsOpen.Add(1)
 	tn.connsTotal.Add(1)
-	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	idle := c.s.cfg.IdleTimeout
+	if idle <= 0 {
+		// No idle policy: clear the handshake deadline. Failing to clear
+		// it would strand the connection behind a stale deadline, so it
+		// is connection-fatal too.
+		if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+			return
+		}
+	}
 	c.wmu.Lock()
 	c.bw.Write(wire.AppendWelcome(nil, wire.Welcome{ //nolint:errcheck
 		Version:     wire.Version,
@@ -873,9 +906,23 @@ func (c *srvConn) serve() {
 	for {
 		ids, counts, reqs = ids[:0], counts[:0], reqs[:0]
 
+		// Rolling idle deadline, re-armed per frame: any complete frame
+		// resets the clock, but a peer that dribbles bytes (or nothing)
+		// for IdleTimeout is cut loose.
+		if idle > 0 {
+			if err := c.nc.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return
+			}
+		}
 		ft, p, err := wire.ReadFrame(c.br, &rbuf)
 		if err != nil {
-			return // peer closed, shutdown, or read error: drain out
+			if idle > 0 && !c.readClosed.Load() {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					tn.idleTimeouts.Add(1)
+				}
+			}
+			return // peer closed, idle timeout, shutdown, or read error: drain out
 		}
 		if ok := c.ingest(ft, p, &sub, &ids, &counts, &reqs); !ok {
 			return
@@ -1148,6 +1195,7 @@ func (s *Server) writeTenantMetrics(w io.Writer, tn *tenant) {
 
 	fmt.Fprintf(w, "dynctrld_tenant_connections_open%s %d\n", l, tn.connsOpen.Load())
 	fmt.Fprintf(w, "dynctrld_tenant_connections_total%s %d\n", l, tn.connsTotal.Load())
+	fmt.Fprintf(w, "dynctrld_tenant_idle_timeouts_total%s %d\n", l, tn.idleTimeouts.Load())
 
 	fmt.Fprintf(w, "dynctrld_tenant_read_batches_total%s %d\n", l, tn.readBatches.Load())
 	fmt.Fprintf(w, "dynctrld_tenant_read_batch_requests_total%s %d\n", l, tn.readReqs.Load())
