@@ -27,9 +27,13 @@
 // wal_overhead field is tcp-fanin over tcp-wal throughput. A fifth
 // measurement (tcp-openloop) schedules Poisson arrivals at a pinned rate
 // against the loopback daemon and reports the coordinated-omission-safe
-// p50/p99/p999 service latency in the measurement's latency block. A
-// separate pinned churn run (E3's fully-dynamic mix) reports the
-// amortized message complexity per topological change.
+// p50/p99/p999 service latency in the measurement's latency block, plus
+// the daemon's own per-stage quantiles (internal/obs batch traces) in the
+// server_latency block. A sixth (tcp-fanin-noobs) repeats tcp-fanin with
+// tracing disabled; the report's obs_overhead field is the untraced over
+// traced throughput ratio and -max-obs-overhead gates it (tracing must
+// stay cheap). A separate pinned churn run (E3's fully-dynamic mix)
+// reports the amortized message complexity per topological change.
 package main
 
 import (
@@ -44,11 +48,13 @@ import (
 	"dynctrl/internal/benchfmt"
 	"dynctrl/internal/client"
 	"dynctrl/internal/dist"
+	"dynctrl/internal/obs"
 	"dynctrl/internal/pipeline"
 	"dynctrl/internal/server"
 	"dynctrl/internal/sim"
 	"dynctrl/internal/stats"
 	"dynctrl/internal/tree"
+	"dynctrl/internal/wire"
 	"dynctrl/internal/workload"
 )
 
@@ -56,13 +62,14 @@ import (
 // baselines; bump benchfmt.SchemaVersion and refresh BENCH_baseline.json
 // when you do.
 const (
-	serialScenario   = "E13-metered-events-serial"
-	pipelineScenario = "E13-metered-events-pipeline"
-	tcpScenario      = "E13-metered-events-wire"
-	tcpFaninScenario = "E13-metered-events-wire-fanin"
-	tcpWalScenario   = "E13-metered-events-wire-wal"
-	openLoopScenario = "E13-metered-events-wire-openloop"
-	churnScenario    = "E3-fully-dynamic-churn"
+	serialScenario        = "E13-metered-events-serial"
+	pipelineScenario      = "E13-metered-events-pipeline"
+	tcpScenario           = "E13-metered-events-wire"
+	tcpFaninScenario      = "E13-metered-events-wire-fanin"
+	tcpFaninNoobsScenario = "E13-metered-events-wire-fanin-noobs"
+	tcpWalScenario        = "E13-metered-events-wire-wal"
+	openLoopScenario      = "E13-metered-events-wire-openloop"
+	churnScenario         = "E3-fully-dynamic-churn"
 
 	// The open-loop run schedules openLoopTotal Poisson arrivals at
 	// openLoopRate req/s against the loopback daemon and reports the
@@ -111,6 +118,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit 1 on regression")
 	maxRegress := flag.Float64("max-regress", 2.0, "maximum tolerated ops/sec regression factor vs the baseline")
+	maxObsOverhead := flag.Float64("max-obs-overhead", 1.03, "maximum tolerated tracing overhead ratio (tcp-fanin-noobs over tcp-fanin throughput)")
 	runs := flag.Int("runs", 5, "measurement repetitions (best run is reported)")
 	sched := flag.String("sched", "random", "transport scheduler for the pinned runs (one of "+strings.Join(sim.SchedulerNames(), ", ")+")")
 	flag.Parse()
@@ -180,7 +188,7 @@ func main() {
 	rep.Results["pipeline"] = pipeM
 
 	tcpM := measure(*runs, total, func() (func(), func() int64, func()) {
-		return setupTCP(*sched, m, w, clients, clients, 1, "")
+		return setupTCP(*sched, m, w, clients, clients, 1, "", 0)
 	})
 	tcpM.Scenario, tcpM.Scheduler, tcpM.Transport = tcpScenario, *sched, benchfmt.TransportTCP
 	tcpM.Durability = benchfmt.DurabilityNone
@@ -189,19 +197,30 @@ func main() {
 	// The durability pair replays the trace walRounds times per measured
 	// run, so its permit budget scales accordingly.
 	walM := m * walRounds
-	tcpFaninM := measure(*runs, total*walRounds, func() (func(), func() int64, func()) {
-		return setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, "")
-	})
+	// The fan-in scenario and its tracing-overhead companion — the
+	// identical run with batch tracing and stage histograms disabled
+	// (-trace-ring -1) — are measured as an interleaved pair so machine
+	// drift cancels out of the obs_overhead ratio gated below.
+	tcpFaninM, tcpFaninNoobsM := measurePair(*runs, total*walRounds,
+		func() (func(), func() int64, func()) {
+			return setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, "", 0)
+		},
+		func() (func(), func() int64, func()) {
+			return setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, "", -1)
+		})
 	tcpFaninM.Scenario, tcpFaninM.Scheduler, tcpFaninM.Transport = tcpFaninScenario, *sched, benchfmt.TransportTCP
 	tcpFaninM.Durability = benchfmt.DurabilityNone
 	rep.Results["tcp-fanin"] = tcpFaninM
+	tcpFaninNoobsM.Scenario, tcpFaninNoobsM.Scheduler, tcpFaninNoobsM.Transport = tcpFaninNoobsScenario, *sched, benchfmt.TransportTCP
+	tcpFaninNoobsM.Durability = benchfmt.DurabilityNone
+	rep.Results["tcp-fanin-noobs"] = tcpFaninNoobsM
 
 	tcpWalM := measure(*runs, total*walRounds, func() (func(), func() int64, func()) {
 		walDir, err := os.MkdirTemp("", "benchjson-wal-")
 		if err != nil {
 			fatalf("wal dir: %v", err)
 		}
-		run, msgs, cleanup := setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, walDir)
+		run, msgs, cleanup := setupTCP(*sched, walM, walM/2, walClients, walStreams, walRounds, walDir, 0)
 		return run, msgs, func() {
 			cleanup()
 			os.RemoveAll(walDir)
@@ -219,6 +238,20 @@ func main() {
 	rep.PipelineSpeedup = rep.Results["pipeline"].OpsPerSec / rep.Results["serial"].OpsPerSec
 	rep.MessagesPerChange = measureChurnMessages(*sched)
 	rep.Workload["wal_overhead"] = rep.Results["tcp-fanin"].OpsPerSec / rep.Results["tcp-wal"].OpsPerSec
+
+	// Observability tax: how much throughput the untraced run gains over
+	// the traced one on the identical workload. The instrumentation is
+	// designed to be invisible at this fan-in; fail loudly if it is not.
+	obsOverhead := rep.Results["tcp-fanin-noobs"].OpsPerSec / rep.Results["tcp-fanin"].OpsPerSec
+	rep.Workload["obs_overhead"] = obsOverhead
+	fmt.Fprintf(os.Stderr, "benchjson: tracing overhead %.3fx (untraced %.0f ops/s, traced %.0f ops/s)\n",
+		obsOverhead, rep.Results["tcp-fanin-noobs"].OpsPerSec, rep.Results["tcp-fanin"].OpsPerSec)
+	if obsOverhead > *maxObsOverhead {
+		fatalf("tracing overhead %.3fx exceeds the %.2fx budget:"+
+			" tcp-fanin %.0f ops/s traced vs %.0f ops/s untraced",
+			obsOverhead, *maxObsOverhead,
+			rep.Results["tcp-fanin"].OpsPerSec, rep.Results["tcp-fanin-noobs"].OpsPerSec)
+	}
 
 	path := *out
 	if path == "" {
@@ -247,8 +280,9 @@ func main() {
 // stack (durable over walDir when non-empty), a pool of conns
 // connections, and the pinned total trace re-partitioned across streams
 // concurrent client streams (same constructor, same seed) and replayed
-// rounds times per measured run.
-func setupTCP(sched string, m, w int64, conns, streams, rounds int, walDir string) (func(), func() int64, func()) {
+// rounds times per measured run. traceRing is the server's batch-trace
+// ring size (0 = production default, negative disables tracing).
+func setupTCP(sched string, m, w int64, conns, streams, rounds int, walDir string, traceRing int) (func(), func() int64, func()) {
 	srv, err := server.New(server.Config{
 		Addr:          "127.0.0.1:0",
 		Topology:      workload.TopologySpec{Kind: "balanced", Nodes: treeNodes},
@@ -258,6 +292,7 @@ func setupTCP(sched string, m, w int64, conns, streams, rounds int, walDir strin
 		W:             w,
 		WALDir:        walDir,
 		SnapshotEvery: walSnapshotEvery,
+		TraceRing:     traceRing,
 	})
 	if err != nil {
 		fatalf("tcp server: %v", err)
@@ -334,6 +369,9 @@ func measureOpenLoop(runs int, sched string) benchfmt.Measurement {
 			fatalf("open-loop run: %d request errors", res.Errors)
 		}
 		cl.Close()
+		// Read the daemon's stage histograms before Shutdown tears the
+		// tenant stacks down.
+		srvLat := serverLatency(srv.TenantStageStats(wire.DefaultTenant))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		srv.Shutdown(ctx) //nolint:errcheck
 		cancel()
@@ -356,12 +394,51 @@ func measureOpenLoop(runs int, sched string) benchfmt.Measurement {
 				TargetRate: openLoopRate,
 				Arrival:    benchfmt.ArrivalPoisson,
 			},
+			ServerLatency: srvLat,
 		}
 		if i == 0 || cur.Latency.P99 < best.Latency.P99 {
 			best = cur
 		}
 	}
+	if best.ServerLatency == nil {
+		fatalf("open-loop run recorded no server-side stage samples (tracing disabled?)")
+	}
+	// Sanity-check the reconciliation invariant on the reported run: the
+	// client-observed p99 is charged from the scheduled arrival, so it
+	// bounds everything the server measured — the non-total stage p99s
+	// must sum to no more than it.
+	var stageSum float64
+	for name, sl := range best.ServerLatency.Stages {
+		if name != "total" {
+			stageSum += sl.P99
+		}
+	}
+	if stageSum > best.Latency.P99 {
+		fatalf("server stage p99s sum to %.0f ns, exceeding the client-observed p99 of %.0f ns:"+
+			" stage attribution is double-counting", stageSum, best.Latency.P99)
+	}
 	return best
+}
+
+// serverLatency converts the server's per-stage histogram snapshot into
+// the report's server_latency block (nil when no batch was traced).
+func serverLatency(stats []obs.StageStats) *benchfmt.ServerLatency {
+	stages := map[string]benchfmt.StageLatency{}
+	for _, ss := range stats {
+		if ss.Count == 0 {
+			continue
+		}
+		stages[ss.Stage] = benchfmt.StageLatency{
+			P50:   float64(ss.P50),
+			P99:   float64(ss.P99),
+			P999:  float64(ss.P999),
+			Count: ss.Count,
+		}
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	return &benchfmt.ServerLatency{Unit: "ns", Stages: stages}
 }
 
 // benchRuntime builds the pinned transport; the scheduler name was
@@ -406,35 +483,65 @@ func measure(runs, requests int, setup func() (func(), func() int64, func())) be
 	}
 	best := benchfmt.Measurement{NsPerOp: float64(0)}
 	for i := 0; i < runs; i++ {
-		run, msgs, cleanup := setup()
-		var ms0, ms1 runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		var m0 int64
-		if msgs != nil {
-			m0 = msgs()
-		}
-		t0 := time.Now()
-		run()
-		dt := time.Since(t0)
-		runtime.ReadMemStats(&ms1)
-		cur := benchfmt.Measurement{
-			NsPerOp:     float64(dt.Nanoseconds()) / float64(requests),
-			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(requests),
-			BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(requests),
-		}
-		if msgs != nil {
-			cur.MsgsPerOp = float64(msgs()-m0) / float64(requests)
-		}
-		cur.OpsPerSec = 1e9 / cur.NsPerOp
-		if cleanup != nil {
-			cleanup()
-		}
+		cur := measureOnce(requests, setup)
 		if i == 0 || cur.NsPerOp < best.NsPerOp {
 			best = cur
 		}
 	}
 	return best
+}
+
+// measurePair measures two setups interleaved run-for-run (a, b, a, b,
+// ...) instead of as two sequential best-of phases. Slow machine drift —
+// thermal throttling, page-cache state, background load — then hits both
+// sides of every round equally and cancels out of their throughput
+// ratio, which is the only reason a pair is measured together at all.
+func measurePair(runs, requests int, a, b func() (func(), func() int64, func())) (benchfmt.Measurement, benchfmt.Measurement) {
+	if runs < 1 {
+		runs = 1
+	}
+	var bestA, bestB benchfmt.Measurement
+	for i := 0; i < runs; i++ {
+		curA := measureOnce(requests, a)
+		curB := measureOnce(requests, b)
+		if i == 0 || curA.NsPerOp < bestA.NsPerOp {
+			bestA = curA
+		}
+		if i == 0 || curB.NsPerOp < bestB.NsPerOp {
+			bestB = curB
+		}
+	}
+	return bestA, bestB
+}
+
+// measureOnce runs one fresh setup/run/cleanup cycle and returns its
+// measurement.
+func measureOnce(requests int, setup func() (func(), func() int64, func())) benchfmt.Measurement {
+	run, msgs, cleanup := setup()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var m0 int64
+	if msgs != nil {
+		m0 = msgs()
+	}
+	t0 := time.Now()
+	run()
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	cur := benchfmt.Measurement{
+		NsPerOp:     float64(dt.Nanoseconds()) / float64(requests),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(requests),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(requests),
+	}
+	if msgs != nil {
+		cur.MsgsPerOp = float64(msgs()-m0) / float64(requests)
+	}
+	cur.OpsPerSec = 1e9 / cur.NsPerOp
+	if cleanup != nil {
+		cleanup()
+	}
+	return cur
 }
 
 // measureChurnMessages replays the pinned fully-dynamic churn (E3's mix)

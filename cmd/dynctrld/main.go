@@ -56,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"dynctrl/internal/obs"
 	"dynctrl/internal/persist"
 	"dynctrl/internal/server"
 	"dynctrl/internal/sim"
@@ -125,9 +126,22 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durability and boot-time recovery")
 	snapshotEvery := flag.Int64("snapshot-every", 0, "checkpoint the full state every n logged effects (0 = default, <0 disables)")
 	verifyWAL := flag.Bool("verify-wal", false, "audit -wal-dir with the cross-incarnation oracle and exit")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	traceRing := flag.Int("trace-ring", 0, "per-tenant batch-trace ring size for /tracez (0 = default, <0 disables tracing and stage histograms)")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the metrics listener")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "serve this tenant namespace: name[,key=value,...] with keys topology, nodes, seed, sched, m, w (repeatable; unset keys inherit the top-level flags)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("-log-level: %v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fatalf("-log-format: %v", err)
+	}
 
 	cfg := server.Config{
 		Addr:        *addr,
@@ -144,7 +158,9 @@ func main() {
 	}
 	cfg.WALDir = *walDir
 	cfg.SnapshotEvery = *snapshotEvery
-	cfg.Logf = logf
+	cfg.Logger = logger
+	cfg.TraceRing = *traceRing
+	cfg.Pprof = *pprofOn
 	if *scenario != "" {
 		sc, err := workload.ScenarioByName(*scenario)
 		if err != nil {
@@ -220,34 +236,38 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatalf("%v", err)
 	}
-	logf("serving wire protocol v%d on %s (paranoid=%v, wal=%q)", wire.Version, s.Addr(), cfg.Paranoid, *walDir)
+	logger.Info("wire protocol", "version", wire.Version, "addr", s.Addr())
 	for _, name := range s.Tenants() {
-		logf("tenant %q: topology signature %d, incarnation %d", name, s.TenantTopologySignature(name), s.TenantIncarnation(name))
+		logger.Info("tenant up", "tenant", name,
+			"topology_signature", s.TenantTopologySignature(name),
+			"incarnation", s.TenantIncarnation(name))
 	}
 	if s.MetricsAddr() != "" {
-		logf("metrics on http://%s/metricsz", s.MetricsAddr())
+		logger.Info("metrics endpoint", "url", "http://"+s.MetricsAddr()+"/metricsz", "pprof", *pprofOn)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	got := <-sig
-	logf("received %v, draining (timeout %v)", got, *drain)
+	logger.Info("signal received", "signal", got.String(), "drain_timeout", drain.String())
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
-		logf("drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	for _, name := range s.Tenants() {
 		ops, grants, rejects, errs := s.TenantAccounting(name)
-		logf("tenant %q accounting: ops=%d grants=%d rejects=%d errors=%d", name, ops, grants, rejects, errs)
+		logger.Info("tenant accounting", "tenant", name,
+			"ops", ops, "grants", grants, "rejects", rejects, "errors", errs)
 	}
 	ops, grants, rejects, errs := s.Accounting()
-	logf("final accounting: ops=%d grants=%d rejects=%d errors=%d transport_messages=%d",
-		ops, grants, rejects, errs, s.TransportMessages())
+	logger.Info("final accounting",
+		"ops", ops, "grants", grants, "rejects", rejects, "errors", errs,
+		"transport_messages", s.TransportMessages())
 	if v := s.Violations(); len(v) != 0 {
 		for _, viol := range v {
-			logf("ORACLE VIOLATION: %v", viol)
+			logger.Error("oracle violation", "violation", viol.String())
 		}
 		os.Exit(1)
 	}

@@ -172,6 +172,21 @@ func main() {
 	if cl.Incarnation() > 0 {
 		durability = benchfmt.DurabilityWALSnap
 	}
+
+	// Scrape the daemon's own stage histograms so the summary carries both
+	// sides of the latency story, and reconcile them against the
+	// client-observed quantiles when an open-loop run measured any.
+	var serverLatency *benchfmt.ServerLatency
+	if *metrics != "" {
+		if sl, err := scrapeServerLatency(*metrics, cl.Tenant()); err != nil {
+			logf("server latency scrape skipped: %v", err)
+		} else {
+			serverLatency = sl
+			if latency != nil {
+				printReconciliation(latency, sl)
+			}
+		}
+	}
 	rep := benchfmt.Report{
 		Label:     *label,
 		Schema:    benchfmt.SchemaVersion,
@@ -194,13 +209,14 @@ func main() {
 		},
 		Results: map[string]benchfmt.Measurement{
 			"loadgen": {
-				Scenario:   sc.Name,
-				Scheduler:  "remote",
-				Transport:  benchfmt.TransportTCP,
-				Durability: durability,
-				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
-				OpsPerSec:  opsPerSec,
-				Latency:    latency,
+				Scenario:      sc.Name,
+				Scheduler:     "remote",
+				Transport:     benchfmt.TransportTCP,
+				Durability:    durability,
+				NsPerOp:       float64(elapsed.Nanoseconds()) / float64(max64(total.Submitted, 1)),
+				OpsPerSec:     opsPerSec,
+				Latency:       latency,
+				ServerLatency: serverLatency,
 			},
 		},
 	}
@@ -304,6 +320,123 @@ func parseMetrics(text string) (map[string]int64, error) {
 		return nil, fmt.Errorf("no parsable metrics lines")
 	}
 	return fields, nil
+}
+
+// scrapeServerLatency fetches /metricsz and collects the daemon's
+// per-stage latency summary (dynctrld_tenant_stage_seconds) for this
+// client's tenant, converting seconds to the nanosecond unit the rest of
+// the report uses. A daemon running with tracing disabled (-trace-ring
+// -1) exports no stage samples; that is reported as an error so the
+// caller can skip the block rather than emit an empty one.
+func scrapeServerLatency(addr, tenant string) (*benchfmt.ServerLatency, error) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	stages := map[string]benchfmt.StageLatency{}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "dynctrld_tenant_stage_seconds")
+		if !ok {
+			continue
+		}
+		suffix := ""
+		if r, ok := strings.CutPrefix(rest, "_sum"); ok {
+			suffix, rest = "sum", r
+		} else if r, ok := strings.CutPrefix(rest, "_count"); ok {
+			suffix, rest = "count", r
+		}
+		if !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		labels := parseLabels(rest[1:end])
+		if labels["tenant"] != tenant || labels["stage"] == "" {
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			continue
+		}
+		sl := stages[labels["stage"]]
+		switch suffix {
+		case "count":
+			sl.Count = int64(val)
+		case "sum":
+			// The summary's _sum is not part of the report schema.
+		default:
+			ns := val * 1e9
+			switch labels["quantile"] {
+			case "p50":
+				sl.P50 = ns
+			case "p99":
+				sl.P99 = ns
+			case "p999":
+				sl.P999 = ns
+			}
+		}
+		stages[labels["stage"]] = sl
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("no dynctrld_tenant_stage_seconds samples for tenant %q"+
+			" (daemon running with -trace-ring -1?)", tenant)
+	}
+	return &benchfmt.ServerLatency{Unit: "ns", Stages: stages}, nil
+}
+
+// parseLabels splits a Prometheus label body (`k1="v1",k2="v2"`) into a
+// map. Values containing escaped quotes or commas are beyond what tenant
+// and stage names can contain, so a plain split suffices.
+func parseLabels(s string) map[string]string {
+	out := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, `"`)
+	}
+	return out
+}
+
+// printReconciliation prints the client-vs-server latency table for an
+// open-loop run: the daemon's per-stage quantiles next to the
+// client-observed ones. The difference between the client p99 and the
+// server total p99 is time the server never saw — network transit plus
+// client-side queueing behind the in-flight bound.
+func printReconciliation(lat *benchfmt.Latency, srv *benchfmt.ServerLatency) {
+	logf("client-vs-server latency reconciliation:")
+	logf("  %-8s %12s %12s %10s", "stage", "p50", "p99", "count")
+	var stageSum float64
+	for _, st := range []string{"decode", "queue", "execute", "wal", "write", "total"} {
+		sl, ok := srv.Stages[st]
+		if !ok {
+			continue
+		}
+		if st != "total" {
+			stageSum += sl.P99
+		}
+		logf("  %-8s %12s %12s %10d",
+			st, time.Duration(int64(sl.P50)), time.Duration(int64(sl.P99)), sl.Count)
+	}
+	logf("  %-8s %12s %12s %10d", "client",
+		time.Duration(int64(lat.P50)), time.Duration(int64(lat.P99)), lat.Count)
+	gap := lat.P99 - srv.Stages["total"].P99
+	if gap < 0 {
+		gap = 0
+	}
+	logf("  stage p99 sum %s, server total p99 %s, network/client gap %s",
+		time.Duration(int64(stageSum)),
+		time.Duration(int64(srv.Stages["total"].P99)),
+		time.Duration(int64(gap)))
 }
 
 func max64(a, b int64) int64 {

@@ -18,8 +18,10 @@ import (
 // schema 3 added the transport dimension (inproc vs tcp) when the service
 // boundary landed; schema 4 added the durability dimension (none | wal |
 // wal+snap) with the write-ahead-log engine; schema 5 added the open-loop
-// latency block (coordinated-omission-safe p50/p99/p999).
-const SchemaVersion = 5
+// latency block (coordinated-omission-safe p50/p99/p999); schema 6 added
+// the server_latency block (server-side per-stage quantiles scraped from
+// /metricsz) and the tcp-fanin-noobs tracing-overhead companion.
+const SchemaVersion = 6
 
 // Transports a measurement can run over.
 const (
@@ -74,22 +76,46 @@ type Latency struct {
 	Arrival string `json:"arrival"`
 }
 
+// StageLatency is one server-side stage's latency digest within a
+// ServerLatency block. Values are nanoseconds.
+type StageLatency struct {
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Count int64   `json:"count"`
+}
+
+// ServerLatency is the schema-6 server-side latency block: per-stage
+// quantiles of the daemon's own batch-trace histograms (decode, queue,
+// execute, wal, write, total), scraped from /metricsz after the run.
+// Reconciling these against the client-observed Latency block separates
+// server time from network/client queueing: the non-total stage p99s must
+// sum to no more than the client-observed p99.
+type ServerLatency struct {
+	// Unit is always "ns".
+	Unit string `json:"unit"`
+	// Stages maps stage name to its digest.
+	Stages map[string]StageLatency `json:"stages"`
+}
+
 // Measurement is one measured submission path. Scenario, Scheduler,
 // Transport and Durability pin what ran where, so a baseline comparison
 // can refuse to compare measurements of different runs. Latency is only
-// set by open-loop runs; closed-loop throughput measurements leave it
-// nil.
+// set by open-loop runs; ServerLatency only by runs that scraped the
+// daemon's stage histograms; closed-loop throughput measurements leave
+// both nil.
 type Measurement struct {
-	Scenario    string   `json:"scenario"`
-	Scheduler   string   `json:"scheduler"`
-	Transport   string   `json:"transport"`
-	Durability  string   `json:"durability"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	OpsPerSec   float64  `json:"ops_per_sec"`
-	AllocsPerOp float64  `json:"allocs_per_op"`
-	BytesPerOp  float64  `json:"bytes_per_op"`
-	MsgsPerOp   float64  `json:"messages_per_op"`
-	Latency     *Latency `json:"latency,omitempty"`
+	Scenario      string         `json:"scenario"`
+	Scheduler     string         `json:"scheduler"`
+	Transport     string         `json:"transport"`
+	Durability    string         `json:"durability"`
+	NsPerOp       float64        `json:"ns_per_op"`
+	OpsPerSec     float64        `json:"ops_per_sec"`
+	AllocsPerOp   float64        `json:"allocs_per_op"`
+	BytesPerOp    float64        `json:"bytes_per_op"`
+	MsgsPerOp     float64        `json:"messages_per_op"`
+	Latency       *Latency       `json:"latency,omitempty"`
+	ServerLatency *ServerLatency `json:"server_latency,omitempty"`
 }
 
 // Report is the BENCH_<label>.json document.
@@ -181,6 +207,18 @@ func CompareBaseline(base, cur Report, maxRegress float64, log io.Writer) error 
 			fmt.Fprintf(log, "benchfmt: %-8s baseline p50/p99/p999 %.0f/%.0f/%.0f ns, current %.0f/%.0f/%.0f ns\n",
 				name, b.Latency.P50, b.Latency.P99, b.Latency.P999,
 				c.Latency.P50, c.Latency.P99, c.Latency.P999)
+		}
+		if b.ServerLatency != nil {
+			if c.ServerLatency == nil {
+				return fmt.Errorf("%s: baseline carries a server_latency block, current run does not:"+
+					" not comparable (rerun with matching flags or refresh the baseline)", name)
+			}
+			// Like Latency: reported, not gated.
+			if bt, ok := b.ServerLatency.Stages["total"]; ok {
+				ct := c.ServerLatency.Stages["total"]
+				fmt.Fprintf(log, "benchfmt: %-8s baseline server total p99 %.0f ns, current %.0f ns\n",
+					name, bt.P99, ct.P99)
+			}
 		}
 		if b.OpsPerSec <= 0 {
 			continue

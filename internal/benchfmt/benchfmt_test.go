@@ -23,6 +23,21 @@ func sample() Report {
 				Scenario: "w", Scheduler: "random", Transport: TransportTCP,
 				NsPerOp: 400, OpsPerSec: 2.5e6,
 			},
+			"openloop": {
+				Scenario: "o", Scheduler: "random", Transport: TransportTCP,
+				NsPerOp: 50_000, OpsPerSec: 20_000,
+				Latency: &Latency{
+					Unit: "ns", P50: 40_000, P99: 900_000, P999: 2_000_000,
+					Count: 20_000, TargetRate: 20_000, Arrival: ArrivalPoisson,
+				},
+				ServerLatency: &ServerLatency{
+					Unit: "ns",
+					Stages: map[string]StageLatency{
+						"execute": {P50: 5_000, P99: 60_000, P999: 90_000, Count: 400},
+						"total":   {P50: 9_000, P99: 150_000, P999: 300_000, Count: 400},
+					},
+				},
+			},
 		},
 	}
 }
@@ -42,6 +57,13 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if out.Results["tcp"].Transport != TransportTCP {
 		t.Fatalf("transport field lost: %+v", out.Results["tcp"])
+	}
+	sl := out.Results["openloop"].ServerLatency
+	if sl == nil || sl.Stages["execute"].P99 != 60_000 || sl.Stages["total"].Count != 400 {
+		t.Fatalf("server_latency block lost: %+v", sl)
+	}
+	if out.Results["tcp"].ServerLatency != nil {
+		t.Fatalf("server_latency appeared on a run that never scraped one: %+v", out.Results["tcp"])
 	}
 }
 
@@ -95,5 +117,39 @@ func TestCompareBaselineRefusesMismatches(t *testing.T) {
 	delete(missing.Results, "tcp")
 	if err := CompareBaseline(sample(), missing, 2.0, &log); err == nil {
 		t.Error("missing result was compared anyway")
+	}
+}
+
+func TestCompareBaselineServerLatency(t *testing.T) {
+	var log bytes.Buffer
+
+	// A current run that dropped the server_latency block is not
+	// comparable against a baseline that carries one.
+	cur := sample()
+	m := cur.Results["openloop"]
+	m.ServerLatency = nil
+	cur.Results["openloop"] = m
+	if err := CompareBaseline(sample(), cur, 2.0, &log); err == nil ||
+		!strings.Contains(err.Error(), "server_latency") {
+		t.Errorf("missing server_latency block was compared anyway (err: %v)", err)
+	}
+
+	// With both present the comparison reports (but does not gate) the
+	// server total p99.
+	log.Reset()
+	if err := CompareBaseline(sample(), sample(), 2.0, &log); err != nil {
+		t.Fatalf("identical reports: %v", err)
+	}
+	if !strings.Contains(log.String(), "server total p99") {
+		t.Errorf("comparison log lacks the server-latency line:\n%s", log.String())
+	}
+
+	// The dropped latency block is likewise refused.
+	cur = sample()
+	m = cur.Results["openloop"]
+	m.Latency = nil
+	cur.Results["openloop"] = m
+	if err := CompareBaseline(sample(), cur, 2.0, &log); err == nil {
+		t.Error("missing latency block was compared anyway")
 	}
 }

@@ -3,19 +3,26 @@
 // code. It checks that every relative markdown link in docs/ and the
 // README resolves, that every /metricsz field the server emits and
 // every CLI flag dynctrld and loadgen declare is documented in
-// docs/OPERATIONS.md, and that every wire frame type and
-// error code is documented in docs/PROTOCOL.md. CI runs it as the docs
-// job, so adding a metric or a wire code without documenting it fails
-// the build.
+// docs/OPERATIONS.md, that the live /metricsz exposition declares
+// # HELP and # TYPE for every family it renders, and that every wire
+// frame type and error code is documented in docs/PROTOCOL.md. CI runs
+// it as the docs job, so adding a metric or a wire code without
+// documenting it fails the build.
 package docscheck
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"dynctrl/internal/server"
+	"dynctrl/internal/workload"
 )
 
 // repoRoot is the module root relative to this package directory.
@@ -96,6 +103,77 @@ func TestMetricsFieldsDocumented(t *testing.T) {
 	}
 	if len(seen) < 20 {
 		t.Fatalf("extracted only %d metric names from internal/server/server.go — the extractor regex is likely stale", len(seen))
+	}
+}
+
+// TestMetricsExposition renders a live /metricsz document from a
+// durable two-tenant server — the configuration that emits every metric
+// family — and fails if any rendered sample lacks a preceding # HELP or
+// # TYPE declaration, if a family's samples are not contiguous, or if a
+// rendered family is missing from docs/OPERATIONS.md. Unlike the
+// source-regex check above, this catches exposition-format drift, not
+// just missing names.
+func TestMetricsExposition(t *testing.T) {
+	doc := readFile(t, filepath.Join("docs", "OPERATIONS.md"))
+	srv, err := server.New(server.Config{
+		Addr: "127.0.0.1:0",
+		Tenants: []server.TenantConfig{
+			{Name: "default", Topology: workload.TopologySpec{Kind: "balanced", Nodes: 8}, Seed: 1, M: 100, W: 10},
+			{Name: "blue", Topology: workload.TopologySpec{Kind: "star", Nodes: 4}, Seed: 2, M: 50, W: 5},
+		},
+		WALDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	var buf bytes.Buffer
+	srv.WriteMetrics(&buf)
+
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	last := ""
+	for ln, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.SplitN(rest, " ", 2)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.SplitN(rest, " ", 2)[0]] = true
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		// Summary families render base{quantile=...}, _sum and _count
+		// samples under the base family's declarations.
+		fam := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !helped[fam] {
+			t.Errorf("exposition line %d: sample %q has no preceding # HELP", ln+1, name)
+		}
+		if !typed[fam] {
+			t.Errorf("exposition line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		if fam != last && seen[fam] {
+			t.Errorf("exposition line %d: family %q samples are not contiguous", ln+1, fam)
+		}
+		seen[fam] = true
+		last = fam
+		if !strings.Contains(doc, "`"+fam+"`") {
+			t.Errorf("family %q is rendered on /metricsz but not documented in docs/OPERATIONS.md", fam)
+		}
+	}
+	if len(seen) < 30 {
+		t.Fatalf("rendered only %d metric families — the durable two-tenant config should emit every family", len(seen))
 	}
 }
 

@@ -109,6 +109,9 @@ func (h *Histogram) Min() int64 {
 // Max returns the largest recorded sample (0 when empty).
 func (h *Histogram) Max() int64 { return h.max }
 
+// Sum returns the exact sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Mean returns the exact arithmetic mean (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

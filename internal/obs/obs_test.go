@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"decode", "queue", "execute", "wal", "write", "total"}
+	if NumStages != len(want) {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+	for i, name := range want {
+		if got := Stage(i).String(); got != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", i, got, name)
+		}
+		if !StageName(name) {
+			t.Errorf("StageName(%q) = false", name)
+		}
+	}
+	if got := Stage(99).String(); got != "unknown" {
+		t.Errorf("Stage(99).String() = %q, want unknown", got)
+	}
+	if StageName("bogus") {
+		t.Error("StageName(bogus) = true")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.NextID(); id != 0 {
+		t.Errorf("nil NextID = %d", id)
+	}
+	tr.Record(&BatchTrace{Total: time.Second})
+	if n := tr.Recorded(); n != 0 {
+		t.Errorf("nil Recorded = %d", n)
+	}
+	if s := tr.RingSize(); s != 0 {
+		t.Errorf("nil RingSize = %d", s)
+	}
+	if got := tr.Recent(4); got != nil {
+		t.Errorf("nil Recent = %v", got)
+	}
+	if got := tr.Slowest(4); got != nil {
+		t.Errorf("nil Slowest = %v", got)
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil Snapshot = %v", got)
+	}
+	var r *Recorder
+	r.Record(time.Second)
+	if st := r.Stats(); st.Count != 0 {
+		t.Errorf("nil Recorder Stats = %+v", st)
+	}
+}
+
+func TestNewTracerRoundsRingToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultRing}, {-5, DefaultRing}, {1, 1}, {2, 2}, {3, 4}, {100, 128}, {256, 256},
+	} {
+		if got := NewTracer(tc.in, 4).RingSize(); got != tc.want {
+			t.Errorf("NewTracer(%d).RingSize() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRecentNewestFirstAndWrap(t *testing.T) {
+	tr := NewTracer(4, 4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(&BatchTrace{ID: uint64(i), Total: time.Duration(i)})
+	}
+	if got := tr.Recorded(); got != 10 {
+		t.Fatalf("Recorded = %d, want 10", got)
+	}
+	recent := tr.Recent(8)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(8) returned %d traces from a 4-slot ring", len(recent))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d].ID = %d, want %d", i, recent[i].ID, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].ID != 10 || got[1].ID != 9 {
+		t.Errorf("Recent(2) = %v", ids(got))
+	}
+}
+
+func TestSlowestKeepsTopK(t *testing.T) {
+	tr := NewTracer(8, 3)
+	// Interleave so the heap sees admissions and evictions in mixed order.
+	for _, ms := range []int{5, 1, 9, 2, 8, 3, 7, 4, 6} {
+		tr.Record(&BatchTrace{ID: uint64(ms), Total: time.Duration(ms) * time.Millisecond})
+	}
+	slow := tr.Slowest(10)
+	if len(slow) != 3 {
+		t.Fatalf("Slowest returned %d traces, cap is 3", len(slow))
+	}
+	for i, want := range []uint64{9, 8, 7} {
+		if slow[i].ID != want {
+			t.Errorf("slowest[%d].ID = %d, want %d (got %v)", i, slow[i].ID, want, ids(slow))
+		}
+	}
+	if got := tr.Slowest(1); len(got) != 1 || got[0].ID != 9 {
+		t.Errorf("Slowest(1) = %v", ids(got))
+	}
+}
+
+func ids(traces []*BatchTrace) []uint64 {
+	out := make([]uint64, len(traces))
+	for i, bt := range traces {
+		out[i] = bt.ID
+	}
+	return out
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	tr := NewTracer(16, 4)
+	for i := 1; i <= 100; i++ {
+		bt := &BatchTrace{Total: time.Duration(i) * time.Millisecond}
+		bt.Stages[StageExecute] = time.Duration(i) * time.Microsecond
+		tr.Record(bt)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != NumStages {
+		t.Fatalf("Snapshot returned %d stages, want %d", len(snap), NumStages)
+	}
+	if snap[len(snap)-1].Stage != "total" {
+		t.Fatalf("last snapshot row is %q, want total", snap[len(snap)-1].Stage)
+	}
+	total := snap[StageTotal]
+	if total.Count != 100 {
+		t.Errorf("total count = %d, want 100", total.Count)
+	}
+	if total.Max != 100*time.Millisecond {
+		t.Errorf("total max = %v, want 100ms", total.Max)
+	}
+	// hdr quantization error is <= 1.6%; allow 5% slack.
+	if got, want := total.P50, 50*time.Millisecond; !within(got, want, 0.05) {
+		t.Errorf("total p50 = %v, want ~%v", got, want)
+	}
+	if got, want := total.P99, 99*time.Millisecond; !within(got, want, 0.05) {
+		t.Errorf("total p99 = %v, want ~%v", got, want)
+	}
+	exec := snap[StageExecute]
+	if exec.Count != 100 {
+		t.Errorf("execute count = %d, want 100", exec.Count)
+	}
+	if got, want := exec.P50, 50*time.Microsecond; !within(got, want, 0.05) {
+		t.Errorf("execute p50 = %v, want ~%v", got, want)
+	}
+	// Stages that never saw a sample still report their zero recordings.
+	if snap[StageWAL].Max != 0 {
+		t.Errorf("wal max = %v, want 0", snap[StageWAL].Max)
+	}
+}
+
+func within(got, want time.Duration, frac float64) bool {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= frac*float64(want)
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(32, 8)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent readers while writers publish
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Recent(16)
+			tr.Slowest(8)
+			tr.Snapshot()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record(&BatchTrace{
+					ID:    tr.NextID(),
+					Total: time.Duration(i+1) * time.Microsecond,
+				})
+			}
+		}()
+	}
+	for tr.Recorded() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := tr.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded = %d, want %d", got, writers*perWriter)
+	}
+	if got := tr.Snapshot()[StageTotal].Count; got != writers*perWriter {
+		t.Fatalf("total histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(tr.Recent(64)); got != 32 {
+		t.Fatalf("Recent(64) = %d traces, want a full 32-slot ring", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	st := r.Stats()
+	if st.Count != 10 {
+		t.Errorf("count = %d, want 10", st.Count)
+	}
+	if st.Min != time.Millisecond || st.Max != 10*time.Millisecond {
+		t.Errorf("min/max = %v/%v, want 1ms/10ms", st.Min, st.Max)
+	}
+	if st.Sum != 55*time.Millisecond {
+		t.Errorf("sum = %v, want 55ms", st.Sum)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug}, {"info", slog.LevelInfo}, {"", slog.LevelInfo},
+		{"warn", slog.LevelWarn}, {"warning", slog.LevelWarn}, {"ERROR", slog.LevelError},
+		{" Info ", slog.LevelInfo},
+	} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "tenant", "blue")
+	if out := buf.String(); !strings.Contains(out, `"msg":"hello"`) || !strings.Contains(out, `"tenant":"blue"`) {
+		t.Errorf("json output = %q", out)
+	}
+	buf.Reset()
+	lg.Debug("dropped")
+	if buf.Len() != 0 {
+		t.Errorf("debug leaked through info level: %q", buf.String())
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, slog.LevelDebug, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	if !strings.Contains(buf.String(), "msg=visible") {
+		t.Errorf("text output = %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, slog.LevelInfo, "yaml"); err == nil {
+		t.Error("NewLogger(yaml) succeeded")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	// Must not panic and must report disabled at every level.
+	lg.Error("dropped")
+	if lg.Enabled(nil, slog.LevelError) { //nolint:staticcheck
+		t.Error("NopLogger enabled at error level")
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"", ""},
+	} {
+		if got := EscapeLabel(tc.in); got != tc.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteTracez(t *testing.T) {
+	tr := NewTracer(8, 4)
+	bt := &BatchTrace{
+		ID:       7,
+		Start:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Total:    3 * time.Millisecond,
+		Frames:   2,
+		Requests: 5,
+		Grants:   4,
+		Rejects:  1,
+		Wave:     true,
+		Conn:     "127.0.0.1:9",
+	}
+	bt.Stages[StageExecute] = time.Millisecond
+	tr.Record(bt)
+
+	var buf bytes.Buffer
+	WriteTracez(&buf, "blue", tr, 4, 4)
+	out := buf.String()
+	for _, want := range []string{
+		`== tenant "blue" ==`,
+		"traces recorded: 1 (ring 8)",
+		"slowest 4 batches:",
+		"most recent 4 batches:",
+		"exec=1.00ms",
+		"conn=127.0.0.1:9",
+		"yes", // wave column
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tracez output lacks %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	WriteTracez(&buf, "off", nil, 4, 4)
+	if out := buf.String(); !strings.Contains(out, "tracing disabled") {
+		t.Errorf("nil-tracer output = %q", out)
+	}
+
+	buf.Reset()
+	WriteTracez(&buf, "empty", NewTracer(8, 4), 4, 4)
+	if out := buf.String(); !strings.Contains(out, "(none)") {
+		t.Errorf("empty-tracer output lacks (none): %q", out)
+	}
+}
+
+func TestFdur(t *testing.T) {
+	for _, tc := range []struct {
+		in   time.Duration
+		want string
+	}{
+		{0, "0"}, {-time.Second, "0"},
+		{500 * time.Nanosecond, "500ns"},
+		{1500 * time.Nanosecond, "1.5µs"},
+		{2500 * time.Microsecond, "2.50ms"},
+		{1500 * time.Millisecond, "1.500s"},
+	} {
+		if got := fdur(tc.in); got != tc.want {
+			t.Errorf("fdur(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	tr := NewTracer(256, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt := &BatchTrace{ID: uint64(i), Total: time.Duration(i%1000) * time.Microsecond}
+		bt.Stages[StageExecute] = time.Microsecond
+		tr.Record(bt)
+	}
+}
+
+func ExampleWriteTracez() {
+	WriteTracez(new(bytes.Buffer), "default", nil, 4, 4)
+	fmt.Println("ok")
+	// Output: ok
+}

@@ -1,0 +1,78 @@
+package persist_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dynctrl/internal/controller"
+	"dynctrl/internal/persist"
+	"dynctrl/internal/tree"
+)
+
+// TestSyncObserver: the fsync observer sees every commit wave — the
+// per-wave record counts must sum to everything appended, each wave must
+// report a measurable duration, and the wave count must match the
+// engine's own fsync tally.
+func TestSyncObserver(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		waves   int
+		records int
+	)
+	eng, _, err := persist.Open(t.TempDir(), persist.Options{
+		SyncObserver: func(n int, d time.Duration) {
+			if n <= 0 {
+				t.Errorf("observer got %d records", n)
+			}
+			if d < 0 {
+				t.Errorf("observer got negative duration %v", d)
+			}
+			mu.Lock()
+			waves++
+			records += n
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := []controller.Request{{Node: 1, Kind: tree.None}}
+			results := []controller.BatchResult{{Grant: controller.Grant{Outcome: controller.Granted}}}
+			for i := 0; i < perWorker; i++ {
+				ticket, err := eng.AppendEffects(reqs, results)
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := eng.WaitDurable(ticket); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := eng.StatsSnapshot()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if records != workers*perWorker {
+		t.Errorf("observer saw %d records, appended %d", records, workers*perWorker)
+	}
+	if waves == 0 {
+		t.Fatal("observer never ran despite durable appends")
+	}
+	if int64(waves) != st.Fsyncs {
+		t.Errorf("observer saw %d waves, engine counted %d fsyncs", waves, st.Fsyncs)
+	}
+}

@@ -71,6 +71,12 @@ type Options struct {
 	// Logf, when set, receives recovery warnings (torn tails truncated,
 	// corrupt snapshots skipped).
 	Logf func(format string, args ...any)
+	// SyncObserver, when set, is called by the group-commit syncer after
+	// every fsync wave with the number of records the wave made durable
+	// and its write+fsync duration. Called from the syncer goroutine, one
+	// wave at a time; implementations must be cheap and must not call back
+	// into the engine.
+	SyncObserver func(records int, d time.Duration)
 }
 
 // Recovery reports what Open reconstructed from the directory.
@@ -508,7 +514,11 @@ func (e *Engine) syncLoop() {
 		if prevOff < len(packed) {
 			block = AppendBlock(block, first+uint64(prevCount), count-prevCount, packed[prevOff:])
 		}
+		syncStart := time.Now()
 		err := e.writeBatch(block, target)
+		if e.opts.SyncObserver != nil {
+			e.opts.SyncObserver(count, time.Since(syncStart))
+		}
 
 		e.mu.Lock()
 		if err != nil {

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dynctrl/internal/controller"
+)
+
+// TestWithCycleHook: the combining-cycle hook observes every leader cycle —
+// the per-cycle call and request tallies must sum to exactly what was
+// submitted, and the hook must run serialized (it mutates shared state
+// below without its own lock; the race detector enforces the contract).
+func TestWithCycleHook(t *testing.T) {
+	sub := &countingSubmitter{}
+	var (
+		mu        sync.Mutex
+		cycles    int
+		hookCalls int
+		hookReqs  int
+	)
+	pl := New(sub, WithMaxBatch(16), WithCycleHook(func(calls, requests int, d time.Duration) {
+		if calls <= 0 || requests <= 0 {
+			t.Errorf("cycle hook got calls=%d requests=%d", calls, requests)
+		}
+		if d < 0 {
+			t.Errorf("cycle hook got negative duration %v", d)
+		}
+		mu.Lock()
+		cycles++
+		hookCalls += calls
+		hookReqs += requests
+		mu.Unlock()
+	}))
+
+	const submitters, perG = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := make([]controller.Request, 3)
+			for i := 0; i < perG; i++ {
+				if _, err := pl.SubmitMany(reqs, nil); err != nil {
+					t.Errorf("SubmitMany: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pl.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if cycles == 0 {
+		t.Fatal("cycle hook never ran")
+	}
+	wantCalls := submitters * perG
+	wantReqs := wantCalls * 3
+	if hookCalls != wantCalls {
+		t.Errorf("hook saw %d calls, want %d", hookCalls, wantCalls)
+	}
+	if hookReqs != wantReqs {
+		t.Errorf("hook saw %d requests, want %d", hookReqs, wantReqs)
+	}
+	if driven := sub.driven.Load(); driven != int64(wantReqs) {
+		t.Errorf("submitter drove %d requests, want %d", driven, wantReqs)
+	}
+}

@@ -25,6 +25,7 @@ package pipeline
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"dynctrl/internal/controller"
 )
@@ -77,6 +78,7 @@ type Pipeline struct {
 	sub       controller.BatchSubmitter
 	maxBatch  int
 	batchHook func(requests int)
+	cycleHook func(calls, requests int, dur time.Duration)
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled when a leader retires (for Flush)
@@ -112,6 +114,16 @@ func WithMaxBatch(n int) Option {
 // timing, and services can export batch-size metrics from it.
 func WithBatchHook(fn func(requests int)) Option {
 	return func(p *Pipeline) { p.batchHook = fn }
+}
+
+// WithCycleHook installs fn to be called by the batch leader after each
+// leadership cycle, with the number of calls combined, the number of
+// requests driven, and the cycle's wall-clock duration (core execution
+// plus submitter wakeups). Like WithBatchHook, calls are serialized and
+// happen before the leader re-checks the queue; services use it to
+// export combining-cycle latency distributions.
+func WithCycleHook(fn func(calls, requests int, dur time.Duration)) Option {
+	return func(p *Pipeline) { p.cycleHook = fn }
 }
 
 // New builds a pipeline over the given batch-capable controller.
@@ -208,9 +220,16 @@ func (p *Pipeline) lead() {
 		}
 		p.mu.Unlock()
 
+		var cycleStart time.Time
+		if p.cycleHook != nil {
+			cycleStart = time.Now()
+		}
 		for _, c := range p.batch {
 			c.results = p.sub.SubmitBatch(c.reqs, c.results)
 			c.done <- struct{}{}
+		}
+		if p.cycleHook != nil {
+			p.cycleHook(taken, reqs, time.Since(cycleStart))
 		}
 		if p.batchHook != nil {
 			p.batchHook(reqs)

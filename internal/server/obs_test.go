@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynctrl/internal/client"
+	"dynctrl/internal/controller"
+	"dynctrl/internal/tree"
+	"dynctrl/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goVersionRe normalizes the one environment-dependent label in the
+// exposition so the golden files are stable across toolchains.
+var goVersionRe = regexp.MustCompile(`go_version="[^"]*"`)
+
+// renderMetrics builds a server (without starting it, so start-time and
+// uptime stay deterministically zero), renders /metricsz once and tears
+// the tenant stacks down.
+func renderMetrics(t *testing.T, cfg Config) string {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.closeTenants()
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+	return goVersionRe.ReplaceAllString(buf.String(), `go_version="GOVERSION"`)
+}
+
+// TestWriteMetricsGolden pins the full Prometheus exposition byte for
+// byte: family grouping, HELP/TYPE lines, label escaping and the
+// per-tenant sample set, for a two-tenant daemon with and without the
+// durability engine. Regenerate with `go test ./internal/server -run
+// Golden -update` after intentionally changing the exposition.
+func TestWriteMetricsGolden(t *testing.T) {
+	tenants := []TenantConfig{
+		{Name: "default", Topology: workload.TopologySpec{Kind: "balanced", Nodes: 8}, Seed: 3, M: 500, W: 50},
+		{Name: "blue", Topology: workload.TopologySpec{Kind: "star", Nodes: 4}, Seed: 7, M: 100, W: 10},
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"nowal", Config{Tenants: tenants}},
+		{"wal", Config{Tenants: tenants, WALDir: t.TempDir(), CommitWindow: -1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := renderMetrics(t, tc.cfg)
+			golden := filepath.Join("testdata", "metrics_"+tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (rerun with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("metrics exposition diverged from %s (rerun with -update if intentional):\ngot:\n%s",
+					golden, got)
+			}
+		})
+	}
+}
+
+// TestMetricsExpositionShape checks the exposition rules the golden files
+// cannot see changing: every sample belongs to a family that declared
+// # HELP and # TYPE before it, families are contiguous, and label values
+// with exposition metacharacters are escaped.
+func TestMetricsExpositionShape(t *testing.T) {
+	text := renderMetrics(t, Config{Tenants: []TenantConfig{
+		{Name: "default", Topology: workload.TopologySpec{Kind: "balanced", Nodes: 8}, Seed: 1, M: 100, W: 10},
+	}})
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	last := ""
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.SplitN(rest, " ", 2)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.SplitN(rest, " ", 2)[0]] = true
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fam := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !helped[fam] && !helped[name] {
+			t.Errorf("line %d: sample %q has no # HELP", ln+1, name)
+		}
+		if !typed[fam] && !typed[name] {
+			t.Errorf("line %d: sample %q has no # TYPE", ln+1, name)
+		}
+		if fam != last && seen[fam] {
+			t.Errorf("line %d: family %q is not contiguous", ln+1, fam)
+		}
+		seen[fam] = true
+		last = fam
+	}
+	if len(seen) < 20 {
+		t.Fatalf("only %d metric families rendered; exposition looks truncated:\n%s", len(seen), text)
+	}
+}
+
+// TestMetricsLabelEscaping: a tenant name carrying exposition
+// metacharacters must come out escaped, not raw.
+func TestMetricsLabelEscaping(t *testing.T) {
+	// wire.ValidTenant refuses such names at the config boundary, so forge
+	// one after construction: WriteMetrics must never emit a malformed
+	// exposition whatever the name is.
+	s := &Server{
+		cfg:     Config{},
+		tenants: map[string]*tenant{},
+	}
+	name := `qu"ote\back`
+	tn, err := newTenant(TenantConfig{
+		Name:     "default",
+		Topology: workload.TopologySpec{Kind: "star", Nodes: 4},
+		Seed:     1, M: 10, W: 1,
+	}, Config{ReadBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.name = name
+	s.tenants[name] = tn
+	s.order = []string{name}
+	defer s.closeTenants()
+
+	var buf bytes.Buffer
+	s.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), `tenant="qu\"ote\\back"`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+}
+
+// TestTracezEndpoint drives traffic through a traced server and checks
+// the /tracez document: stage digest, slowest and most-recent tables,
+// the tenant filter and the n cap.
+func TestTracezEndpoint(t *testing.T) {
+	s := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "balanced", Nodes: 8},
+		Seed:        3, M: 500, W: 50,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	tr, _ := tree.New()
+	workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 8}, 3) //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.MetricsAddr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+
+	text := get("/tracez")
+	for _, want := range []string{
+		`== tenant "default" ==`,
+		"traces recorded: 10",
+		"stage latency (server-side):",
+		"slowest 16 batches:",
+		"most recent 16 batches:",
+		"execute",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/tracez missing %q:\n%s", want, text)
+		}
+	}
+	if got := get("/tracez?tenant=absent"); strings.Contains(got, "== tenant") {
+		t.Errorf("/tracez?tenant=absent rendered a tenant:\n%s", got)
+	}
+	if got := get("/tracez?n=2"); !strings.Contains(got, "slowest 2 batches:") {
+		t.Errorf("/tracez?n=2 ignored the cap:\n%s", got)
+	}
+
+	// The stage histograms behind /metricsz saw the same batches.
+	stats := s.TenantStageStats("default")
+	if stats == nil {
+		t.Fatal("TenantStageStats returned nil for a traced tenant")
+	}
+	var total int64
+	for _, st := range stats {
+		if st.Stage == "total" {
+			total = st.Count
+		}
+	}
+	if total != 10 {
+		t.Errorf("total stage count = %d, want 10", total)
+	}
+}
+
+// TestTraceRingDisabled: a negative TraceRing turns the whole layer off —
+// nil tracers, no stage samples on /metricsz, and /tracez says so.
+func TestTraceRingDisabled(t *testing.T) {
+	s := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "balanced", Nodes: 8},
+		Seed:        3, M: 500, W: 50, TraceRing: -1,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	tr, _ := tree.New()
+	workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 8}, 3) //nolint:errcheck
+	if _, err := cl.Submit(controller.Request{Node: tr.Root(), Kind: tree.None}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	if got := s.TenantStageStats("default"); got != nil {
+		t.Errorf("TenantStageStats = %v with tracing disabled", got)
+	}
+	var buf bytes.Buffer
+	s.WriteTraces(&buf, "", 4)
+	if !strings.Contains(buf.String(), "tracing disabled") {
+		t.Errorf("/tracez with tracing disabled:\n%s", buf.String())
+	}
+	buf.Reset()
+	s.WriteMetrics(&buf)
+	if strings.Contains(buf.String(), "dynctrld_tenant_stage_seconds") {
+		t.Error("stage histograms exported with tracing disabled")
+	}
+	if !strings.Contains(buf.String(), "dynctrld_tenant_ops_total") {
+		t.Error("base accounting missing with tracing disabled")
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when Config.Pprof is
+// set.
+func TestPprofGate(t *testing.T) {
+	status := func(s *Server) int {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", s.MetricsAddr()))
+		if err != nil {
+			t.Fatalf("GET pprof: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	off := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "star", Nodes: 4}, M: 10, W: 1,
+	})
+	if got := status(off); got != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", got)
+	}
+	on := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "star", Nodes: 4}, M: 10, W: 1, Pprof: true,
+	})
+	if got := status(on); got != http.StatusOK {
+		t.Errorf("pprof with -pprof: status %d, want 200", got)
+	}
+}
+
+// TestScrapeUnderLoad races the observability read paths (/metricsz,
+// /tracez) against a live submit storm — the lock-free ring publish, the
+// slowest-N heap and the histogram folds must hold up under the race
+// detector while being scraped.
+func TestScrapeUnderLoad(t *testing.T) {
+	s := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Topology:    workload.TopologySpec{Kind: "balanced", Nodes: 16},
+		Seed:        1, M: 1 << 30, W: 1 << 29,
+	})
+	cl, err := client.Dial(s.Addr(), client.Options{Conns: 4})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	tr, _ := tree.New()
+	workload.BuildTopology(tr, workload.TopologySpec{Kind: "balanced", Nodes: 16}, 1) //nolint:errcheck
+	root := tr.Root()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := make([]controller.Request, 8)
+			for i := range reqs {
+				reqs[i] = controller.Request{Node: root, Kind: tree.None}
+			}
+			var out []controller.BatchResult
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := cl.SubmitMany(reqs, out[:0])
+				if err != nil {
+					return
+				}
+				out = res
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, path := range []string{"/metricsz", "/tracez?n=4"} {
+			resp, err := http.Get(fmt.Sprintf("http://%s%s", s.MetricsAddr(), path))
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+			}
+			if len(body) == 0 {
+				t.Fatalf("GET %s: empty body", path)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The scrape raced real traffic; the histograms must have kept count.
+	if got := s.TenantStageStats("default"); got == nil || got[len(got)-1].Count == 0 {
+		t.Errorf("no stage samples recorded under load: %v", got)
+	}
+}

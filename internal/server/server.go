@@ -53,15 +53,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dynctrl/internal/controller"
 	"dynctrl/internal/dist"
+	"dynctrl/internal/obs"
 	"dynctrl/internal/oracle"
 	"dynctrl/internal/persist"
 	"dynctrl/internal/pipeline"
@@ -151,8 +156,24 @@ type Config struct {
 	// CommitWindow is the group-commit coalescing window (0 =
 	// DefaultCommitWindow; negative fsyncs immediately).
 	CommitWindow time.Duration
-	// Logf receives recovery and durability warnings (default: discard).
+	// Logf receives recovery and durability warnings (default: forward to
+	// Logger at warn level).
 	Logf func(format string, args ...any)
+
+	// Logger receives the daemon's structured log events (accepts,
+	// handshakes, binds, reject waves, recovery, idle timeouts, drain,
+	// connection-fatal errors) with tenant and trace-ID attributes.
+	// Nil discards everything (the embedded-server default).
+	Logger *slog.Logger
+
+	// TraceRing sizes each tenant's batch-trace ring (0 = obs.DefaultRing;
+	// negative disables tracing, stage histograms and the combine/fsync
+	// recorders entirely).
+	TraceRing int
+
+	// Pprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+	// metrics listener. Off by default: profiling endpoints are opt-in.
+	Pprof bool
 }
 
 // DefaultSnapshotEvery is the automatic checkpoint cadence (in logged
@@ -201,6 +222,13 @@ type tenant struct {
 	idleTimeouts               atomic.Int64
 	rejectWave                 atomic.Bool
 	waveGranted                atomic.Int64
+
+	// Observability (all nil when Config.TraceRing < 0): the batch-trace
+	// ring + per-stage histograms, the pipeline combining-cycle recorder
+	// and the WAL fsync-wave recorder.
+	tracer  *obs.Tracer
+	combine *obs.Recorder
+	fsync   *obs.Recorder
 }
 
 // Server is a running daemon instance.
@@ -208,6 +236,10 @@ type Server struct {
 	cfg     Config
 	tenants map[string]*tenant
 	order   []string // tenant names in configuration order
+	logger  *slog.Logger
+	// started carries both the wall reading (dynctrld_start_time_seconds)
+	// and the monotonic reading (dynctrld_uptime_seconds); zero until
+	// Start, and uptime is reported as 0 until then.
 	started time.Time
 
 	ln      net.Listener
@@ -235,33 +267,48 @@ type guardedSubmitter struct {
 	eng     *persist.Engine                  // non-nil with a WAL
 	capture func() *persist.State            // deep state copy for checkpoints
 	logf    func(format string, args ...any) // durability warnings
+	ctrs    *stats.Counters                  // tenant counters (control-message sampling)
+	trace   bool                             // record per-run stage timings
 	// dead is set when the WAL can no longer accept records: from then on
 	// batches are refused *before* touching the controller, because a
 	// grant that cannot be logged would burn the permit budget against a
 	// state no recovery can ever reconstruct.
 	dead bool
 
-	// tickets maps an in-flight SubmitMany run (identified by the address
+	// runs maps an in-flight SubmitMany run (identified by the address
 	// of its first request — the pipeline hands the caller's slice through
-	// unchanged) to the group-commit ticket covering exactly its records,
-	// so each connection waits for its own fsync window instead of the
-	// engine's append high-water mark (which other connections keep
-	// advancing — a convoy).
-	tmu     sync.Mutex
-	tickets map[*controller.Request]uint64
+	// unchanged) to the group-commit ticket covering exactly its records
+	// plus the run's measured controller work, so each connection waits
+	// for its own fsync window instead of the engine's append high-water
+	// mark (which other connections keep advancing — a convoy) and can
+	// attribute its trace's execute/WAL time to exactly its own run.
+	tmu  sync.Mutex
+	runs map[*controller.Request]runInfo
 }
 
-// takeTicket claims (and forgets) the ticket recorded for the run whose
-// first request lives at key. ok is false when the run never reached the
-// engine — legitimate only for runs that decided nothing (every result an
-// error); the caller treats a miss with successful results as a broken
-// durability invariant, never as permission to reply early.
-func (g *guardedSubmitter) takeTicket(key *controller.Request) (ticket uint64, ok bool) {
+// runInfo is what the guard learned about one SubmitMany run: its
+// group-commit ticket (when a WAL is attached and the append succeeded)
+// and, with tracing on, the run's controller execution time, in-guard WAL
+// append time and control-message count.
+type runInfo struct {
+	ticket    uint64
+	hasTicket bool
+	exec      time.Duration
+	walAppend time.Duration
+	ctlMsgs   int64
+}
+
+// takeRun claims (and forgets) the info recorded for the run whose first
+// request lives at key. ok is false when the run never reached the guard —
+// legitimate only for runs that decided nothing (every result an error);
+// the caller treats a miss with successful results as a broken durability
+// invariant, never as permission to reply early.
+func (g *guardedSubmitter) takeRun(key *controller.Request) (info runInfo, ok bool) {
 	g.tmu.Lock()
 	defer g.tmu.Unlock()
-	t, ok := g.tickets[key]
-	delete(g.tickets, key)
-	return t, ok
+	info, ok = g.runs[key]
+	delete(g.runs, key)
+	return info, ok
 }
 
 // errWALUnavailable answers requests once the WAL has permanently failed.
@@ -276,6 +323,13 @@ func (g *guardedSubmitter) SubmitBatch(reqs []controller.Request, out []controll
 		}
 		return out
 	}
+	var info runInfo
+	var execStart time.Time
+	var ctlBefore int64
+	if g.trace {
+		ctlBefore = g.ctrs.Get(dist.CounterControl)
+		execStart = time.Now()
+	}
 	base := len(out)
 	if g.orc == nil {
 		out = g.sub.SubmitBatch(reqs, out)
@@ -285,18 +339,33 @@ func (g *guardedSubmitter) SubmitBatch(reqs []controller.Request, out []controll
 			out = append(out, controller.BatchResult{Grant: gr, Err: err})
 		}
 	}
+	if g.trace {
+		info.exec = time.Since(execStart)
+		info.ctlMsgs = g.ctrs.Get(dist.CounterControl) - ctlBefore
+	}
 	if g.eng != nil {
-		if ticket, err := g.eng.AppendEffects(reqs, out[base:]); err != nil {
+		var walStart time.Time
+		if g.trace {
+			walStart = time.Now()
+		}
+		ticket, err := g.eng.AppendEffects(reqs, out[base:])
+		if g.trace {
+			info.walAppend = time.Since(walStart)
+		}
+		if err != nil {
 			g.dead = true
 			g.logf("server: wal append failed, refusing further admissions: %v", err)
-		} else if len(reqs) > 0 {
-			g.tmu.Lock()
-			g.tickets[&reqs[0]] = ticket
-			g.tmu.Unlock()
+		} else {
+			info.ticket, info.hasTicket = ticket, true
 		}
 		if g.eng.ShouldCheckpoint() {
 			g.eng.CheckpointAsync(g.capture())
 		}
+	}
+	if len(reqs) > 0 && (g.trace || info.hasTicket) {
+		g.tmu.Lock()
+		g.runs[&reqs[0]] = info
+		g.tmu.Unlock()
 	}
 	return out
 }
@@ -359,6 +428,11 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 		ctrs:    ctrs,
 		topoSig: topoSig,
 	}
+	traced := cfg.TraceRing >= 0
+	if traced {
+		tn.tracer = obs.NewTracer(cfg.TraceRing, obs.DefaultSlow)
+		tn.combine = obs.NewRecorder()
+	}
 
 	var walDir string
 	if cfg.WALDir != "" {
@@ -371,11 +445,16 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 		if window < 0 {
 			window = 0
 		}
-		eng, rec, err := persist.Open(walDir, persist.Options{
+		popts := persist.Options{
 			SnapshotEvery: snapEvery,
 			CommitWindow:  window,
 			Logf:          cfg.Logf,
-		})
+		}
+		if traced {
+			tn.fsync = obs.NewRecorder()
+			popts.SyncObserver = func(_ int, d time.Duration) { tn.fsync.Record(d) }
+		}
+		eng, rec, err := persist.Open(walDir, popts)
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %q: open wal: %w", tc.Name, err)
 		}
@@ -405,8 +484,10 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 			if rec.Snapshot != nil {
 				snapIndex = rec.Snapshot.Index
 			}
-			cfg.Logf("server: tenant %q recovered incarnation %d: snapshot index %d, %d effects replayed, %d torn bytes truncated",
-				tc.Name, tn.incarnation, snapIndex, applied, rec.TruncatedBytes)
+			cfg.Logger.Info("tenant recovered",
+				"tenant", tc.Name, "incarnation", tn.incarnation,
+				"snapshot_index", snapIndex, "effects_replayed", applied,
+				"truncated_bytes", rec.TruncatedBytes)
 		}
 	}
 
@@ -415,7 +496,9 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 		eng:     tn.eng,
 		capture: tn.captureState,
 		logf:    cfg.Logf,
-		tickets: make(map[*controller.Request]uint64),
+		ctrs:    ctrs,
+		trace:   traced,
+		runs:    make(map[*controller.Request]runInfo),
 	}
 	if cfg.Paranoid {
 		// Seed the oracle with the recovered totals — and every serial the
@@ -439,6 +522,11 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 	if cfg.MaxBatch > 0 {
 		opts = append(opts, pipeline.WithMaxBatch(cfg.MaxBatch))
 	}
+	if traced {
+		opts = append(opts, pipeline.WithCycleHook(func(_, _ int, d time.Duration) {
+			tn.combine.Record(d)
+		}))
+	}
 	tn.guard = guard
 	tn.pl = pipeline.New(guard, opts...)
 	return tn, nil
@@ -451,8 +539,14 @@ func newTenant(tc TenantConfig, cfg Config) (*tenant, error) {
 // verdict), and its incarnation counter is bumped. Call Start to begin
 // serving.
 func New(cfg Config) (*Server, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+		logger := cfg.Logger
+		cfg.Logf = func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		}
 	}
 	if cfg.ReadBatch < 1 {
 		cfg.ReadBatch = DefaultReadBatch
@@ -468,6 +562,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		tenants: map[string]*tenant{},
 		conns:   map[*srvConn]struct{}{},
+		logger:  cfg.Logger,
 	}
 	for _, tc := range tenantConfigs(cfg) {
 		if _, dup := s.tenants[tc.Name]; dup {
@@ -548,17 +643,63 @@ func (s *Server) Start() error {
 		s.httpLn = hln
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			s.WriteMetrics(w)
+		})
+		mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.WriteTraces(w, r.URL.Query().Get("tenant"), atoiDefault(r.URL.Query().Get("n"), 16))
 		})
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		if s.cfg.Pprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.httpSrv = &http.Server{Handler: mux}
 		go s.httpSrv.Serve(hln) //nolint:errcheck // closed on shutdown
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	s.logger.Info("serving",
+		"addr", s.Addr(), "metrics", s.MetricsAddr(),
+		"tenants", len(s.order), "paranoid", s.cfg.Paranoid,
+		"wal", s.cfg.WALDir != "", "pprof", s.cfg.Pprof)
+	return nil
+}
+
+// atoiDefault parses a query parameter, falling back on def.
+func atoiDefault(s string, def int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return def
+	}
+	return n
+}
+
+// WriteTraces renders the plain-text /tracez document: per tenant, the
+// stage-latency digest plus the slowest-n and most-recent-n batch traces.
+// A non-empty tenant filter restricts the report to that namespace.
+func (s *Server) WriteTraces(w io.Writer, tenant string, n int) {
+	for _, name := range s.order {
+		if tenant != "" && name != tenant {
+			continue
+		}
+		obs.WriteTracez(w, name, s.tenants[name].tracer, n, n)
+	}
+}
+
+// TenantStageStats returns the named tenant's server-side stage-latency
+// digest (decode, queue, execute, wal, write, total), or nil when the
+// tenant is unknown or tracing is disabled.
+func (s *Server) TenantStageStats(name string) []obs.StageStats {
+	if tn := s.tenants[name]; tn != nil {
+		return tn.tracer.Snapshot()
+	}
 	return nil
 }
 
@@ -609,6 +750,7 @@ func (s *Server) acceptLoop() {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.logger.Debug("connection accepted", "remote", nc.RemoteAddr().String())
 		go c.serve()
 	}
 }
@@ -641,6 +783,7 @@ func (s *Server) broadcastRejectWave(tn *tenant, granted int64) {
 		}
 	}
 	s.mu.Unlock()
+	s.logger.Info("reject wave", "tenant", tn.name, "granted", granted, "connections", len(conns))
 	for _, c := range conns {
 		c.pushRejectWave(granted)
 	}
@@ -663,6 +806,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.logger.Info("draining", "connections", len(conns))
 
 	if s.ln != nil {
 		s.ln.Close()
@@ -711,6 +855,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
+	s.logger.Info("shutdown complete", "drain_err", drainErr != nil)
 	return drainErr
 }
 
@@ -787,6 +932,7 @@ type srvConn struct {
 	bw  *bufio.Writer
 
 	readClosed atomic.Bool
+	lastTrace  uint64 // most recent batch-trace ID (serve goroutine only)
 }
 
 // closeRead shuts the read side so the serve loop drains out; responses for
@@ -812,6 +958,13 @@ func (c *srvConn) pushRejectWave(granted int64) {
 
 // fail writes a connection-fatal error frame and gives up on the peer.
 func (c *srvConn) fail(code uint8, detail string) {
+	tenant := ""
+	if c.tn != nil {
+		tenant = c.tn.name
+	}
+	c.s.logger.Warn("connection fatal",
+		"remote", c.nc.RemoteAddr().String(), "tenant", tenant,
+		"code", code, "detail", detail, "trace_id", c.lastTrace)
 	c.wmu.Lock()
 	c.bw.Write(wire.AppendError(nil, wire.ErrorFrame{Code: code, Detail: detail})) //nolint:errcheck
 	c.bw.Flush()                                                                   //nolint:errcheck
@@ -837,16 +990,27 @@ func (c *srvConn) serve() {
 	if err := c.nc.SetReadDeadline(time.Now().Add(hsTimeout)); err != nil {
 		return
 	}
+	remote := c.nc.RemoteAddr().String()
 	ft, p, err := wire.ReadFrame(c.br, &rbuf)
 	if err != nil {
+		// A clean immediate close (port probe, peer gave up) is routine;
+		// anything else — garbage bytes, a torn frame, the handshake
+		// deadline — is a fault worth flagging.
+		if errors.Is(err, io.EOF) || c.readClosed.Load() {
+			c.s.logger.Debug("handshake aborted", "remote", remote, "err", err)
+		} else {
+			c.s.logger.Warn("handshake failed", "remote", remote, "err", err)
+		}
 		return
 	}
 	if ft != wire.FrameHello {
+		c.s.logger.Warn("handshake failed", "remote", remote, "err", fmt.Sprintf("expected hello, got %v", ft))
 		c.fail(wire.CodeProtocol, fmt.Sprintf("expected hello, got %v", ft))
 		return
 	}
 	hello, err := wire.DecodeHello(p)
 	if err != nil {
+		c.s.logger.Warn("handshake failed", "remote", remote, "err", err)
 		if errors.Is(err, wire.ErrBadTenant) {
 			c.fail(wire.CodeTenant, err.Error())
 		} else {
@@ -855,17 +1019,21 @@ func (c *srvConn) serve() {
 		return
 	}
 	if hello.Version != wire.Version {
+		c.s.logger.Warn("handshake failed", "remote", remote,
+			"err", fmt.Sprintf("version mismatch: server %d, client %d", wire.Version, hello.Version))
 		c.fail(wire.CodeVersion, fmt.Sprintf("server speaks version %d, client sent %d", wire.Version, hello.Version))
 		return
 	}
 	tn := c.s.tenants[hello.Tenant]
 	if tn == nil {
+		c.s.logger.Warn("handshake failed", "remote", remote, "err", fmt.Sprintf("unknown tenant %q", hello.Tenant))
 		c.fail(wire.CodeTenant, fmt.Sprintf("unknown tenant %q (served: %v)", hello.Tenant, c.s.order))
 		return
 	}
 	c.tn = tn
 	tn.connsOpen.Add(1)
 	tn.connsTotal.Add(1)
+	c.s.logger.Debug("connection bound", "remote", remote, "tenant", tn.name, "incarnation", tn.incarnation)
 	idle := c.s.cfg.IdleTimeout
 	if idle <= 0 {
 		// No idle policy: clear the handshake deadline. Failing to clear
@@ -903,6 +1071,7 @@ func (c *srvConn) serve() {
 		wbuf    []byte
 		wres    []wire.Result
 	)
+	tracer := tn.tracer
 	for {
 		ids, counts, reqs = ids[:0], counts[:0], reqs[:0]
 
@@ -920,9 +1089,16 @@ func (c *srvConn) serve() {
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
 					tn.idleTimeouts.Add(1)
+					c.s.logger.Info("idle timeout", "remote", remote, "tenant", tn.name)
 				}
 			}
 			return // peer closed, idle timeout, shutdown, or read error: drain out
+		}
+		// The trace clock starts once the first frame has arrived: time a
+		// connection spends idle waiting for traffic is not server latency.
+		var bt *obs.BatchTrace
+		if tracer != nil {
+			bt = &obs.BatchTrace{ID: tracer.NextID(), Start: time.Now(), Conn: remote}
 		}
 		if ok := c.ingest(ft, p, &sub, &ids, &counts, &reqs); !ok {
 			return
@@ -955,6 +1131,13 @@ func (c *srvConn) serve() {
 			tn.maxRead.CompareAndSwap(max, n) // best-effort high-water mark
 		}
 
+		// One clock read ends the decode span and starts the submit span;
+		// the counter updates above are charged to decode, which is noise.
+		var submitStart time.Time
+		if bt != nil {
+			submitStart = time.Now()
+			bt.Stages[obs.StageDecode] = submitStart.Sub(bt.Start)
+		}
 		results, err = tn.pl.SubmitMany(reqs, results[:0])
 		if errors.Is(err, pipeline.ErrClosed) {
 			// Admitted after the drain began: answer everything with the
@@ -967,30 +1150,76 @@ func (c *srvConn) serve() {
 			c.fail(wire.CodeProtocol, err.Error())
 			return
 		}
+		submitWall := time.Duration(0)
+		if bt != nil {
+			submitWall = time.Since(submitStart)
+		}
+
+		// The guard recorded what it learned about exactly this run — the
+		// group-commit ticket and, with tracing, the measured controller/
+		// WAL-append work (keyed by the first request's address: the
+		// pipeline hands the slice through unchanged).
+		var info runInfo
+		var haveInfo bool
+		if tn.eng != nil || bt != nil {
+			info, haveInfo = tn.guard.takeRun(&reqs[0])
+		}
 
 		// Group commit: results may not reach the wire before this batch's
-		// WAL records are fsynced. The guard recorded the ticket covering
-		// exactly this run's records; the pipeline keeps driving other
-		// batches while we ride out the fsync. A missing ticket is only
-		// legal when the run decided nothing (shutdown/dead-WAL error
-		// results) — with any successful result it means the durability
-		// chain broke, and the connection dies rather than reply early.
+		// WAL records are fsynced. The pipeline keeps driving other batches
+		// while we ride out the fsync. A missing ticket is only legal when
+		// the run decided nothing (shutdown/dead-WAL error results) — with
+		// any successful result it means the durability chain broke, and
+		// the connection dies rather than reply early.
+		var walWait time.Duration
 		if eng := tn.eng; eng != nil {
-			ticket, ok := tn.guard.takeTicket(&reqs[0])
-			if !ok {
+			if !haveInfo || !info.hasTicket {
 				for _, br := range results {
 					if br.Err == nil {
 						c.fail(wire.CodeProtocol, "wal: decided batch has no durability ticket")
 						return
 					}
 				}
-			} else if werr := eng.WaitDurable(ticket); werr != nil {
-				c.fail(wire.CodeProtocol, fmt.Sprintf("wal: %v", werr))
-				return
+			} else {
+				var waitStart time.Time
+				if bt != nil {
+					waitStart = time.Now()
+				}
+				if werr := eng.WaitDurable(info.ticket); werr != nil {
+					c.fail(wire.CodeProtocol, fmt.Sprintf("wal: %v", werr))
+					return
+				}
+				if bt != nil {
+					walWait = time.Since(waitStart)
+				}
 			}
 		}
 
-		c.accountAndReply(ids, counts, results, &wbuf, &wres)
+		grants, rejects, errCount := c.accountAndReply(ids, counts, results, &wbuf, &wres)
+
+		if bt != nil {
+			// The pipeline wait is what is left of the SubmitMany wall time
+			// once the run's own execute and WAL-append work is taken out.
+			queue := submitWall - info.exec - info.walAppend
+			if queue < 0 {
+				queue = 0
+			}
+			bt.Stages[obs.StageQueue] = queue
+			bt.Stages[obs.StageExecute] = info.exec
+			bt.Stages[obs.StageWAL] = info.walAppend + walWait
+			bt.Total = time.Since(bt.Start)
+			bt.Stages[obs.StageWrite] = bt.Total - bt.Stages[obs.StageDecode] - submitWall - walWait
+			if bt.Stages[obs.StageWrite] < 0 {
+				bt.Stages[obs.StageWrite] = 0
+			}
+			bt.Frames = len(ids)
+			bt.Requests = len(reqs)
+			bt.Grants, bt.Rejects, bt.Errors = grants, rejects, errCount
+			bt.CtlMsgs = info.ctlMsgs
+			bt.Wave = rejects > 0
+			tracer.Record(bt)
+			c.lastTrace = bt.ID
+		}
 	}
 }
 
@@ -1032,10 +1261,11 @@ func (c *srvConn) completeFrameBuffered() bool {
 	return c.br.Buffered() >= 4+n
 }
 
-// accountAndReply updates the bound tenant's wire-level tallies and writes
-// one Results frame per submitted frame, in order.
+// accountAndReply updates the bound tenant's wire-level tallies, writes
+// one Results frame per submitted frame in order, and returns the batch's
+// verdict tallies.
 func (c *srvConn) accountAndReply(ids []uint64, counts []int,
-	results []controller.BatchResult, wbuf *[]byte, wres *[]wire.Result) {
+	results []controller.BatchResult, wbuf *[]byte, wres *[]wire.Result) (int64, int64, int64) {
 	var grants, rejects, errs int64
 	buf := (*wbuf)[:0]
 	off := 0
@@ -1095,11 +1325,78 @@ func (c *srvConn) accountAndReply(ids []uint64, counts []int,
 	if rejects > 0 && tn.rejectWave.CompareAndSwap(false, true) {
 		c.s.broadcastRejectWave(tn, tn.grants.Load())
 	}
+	return grants, rejects, errs
 }
 
-// WriteMetrics renders the plain-text /metricsz document: process-wide
-// aggregates, then one fully labeled section per tenant. Every field is
-// documented in docs/OPERATIONS.md (enforced by internal/docscheck).
+// promSample is one rendered sample line of a family: optional name
+// suffix (summary _sum/_count), rendered label set, rendered value.
+type promSample struct {
+	suffix string
+	labels string
+	value  string
+}
+
+// promFamily is one metric family of the Prometheus text exposition
+// format: the HELP/TYPE header plus the family's samples, kept
+// consecutive regardless of which tenant contributed them.
+type promFamily struct {
+	name, typ, help string
+	samples         []promSample
+}
+
+func (f *promFamily) add(labels, format string, args ...any) {
+	f.samples = append(f.samples, promSample{labels: labels, value: fmt.Sprintf(format, args...)})
+}
+
+func (f *promFamily) addSuffixed(suffix, labels, format string, args ...any) {
+	f.samples = append(f.samples, promSample{suffix: suffix, labels: labels, value: fmt.Sprintf(format, args...)})
+}
+
+// promDoc collects families in first-use order and renders the document.
+type promDoc struct {
+	fams []*promFamily
+	idx  map[string]*promFamily
+}
+
+func newPromDoc() *promDoc { return &promDoc{idx: map[string]*promFamily{}} }
+
+func (d *promDoc) family(name, typ, help string) *promFamily {
+	if f, ok := d.idx[name]; ok {
+		return f
+	}
+	f := &promFamily{name: name, typ: typ, help: help}
+	d.fams = append(d.fams, f)
+	d.idx[name] = f
+	return f
+}
+
+func (d *promDoc) write(w io.Writer) {
+	for _, f := range d.fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, sm := range f.samples {
+			fmt.Fprintf(w, "%s%s%s %s\n", f.name, sm.suffix, sm.labels, sm.value)
+		}
+	}
+}
+
+// addSummary renders one LatencyStats distribution as a summary family's
+// quantile/_sum/_count samples in seconds, under the given base labels
+// (without the closing brace).
+func addSummary(f *promFamily, base string, ls obs.LatencyStats) {
+	f.add(base+`,quantile="p50"}`, "%.9f", ls.P50.Seconds())
+	f.add(base+`,quantile="p99"}`, "%.9f", ls.P99.Seconds())
+	f.add(base+`,quantile="p999"}`, "%.9f", ls.P999.Seconds())
+	f.addSuffixed("_sum", base+"}", "%.9f", ls.Sum.Seconds())
+	f.addSuffixed("_count", base+"}", "%d", ls.Count)
+}
+
+// WriteMetrics renders the /metricsz document in the Prometheus text
+// exposition format (version 0.0.4): every family carries HELP and TYPE
+// lines, label values are escaped, and samples of a family are grouped —
+// process-wide aggregates first, then the per-tenant families with
+// {tenant="name"} labels. Every field is documented in docs/OPERATIONS.md
+// (enforced by internal/docscheck).
 func (s *Server) WriteMetrics(w io.Writer) {
 	var ops, grants, rejects, errs, violations, connsOpen, connsTotal int64
 	wave, wal := 0, 0
@@ -1123,29 +1420,58 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	if s.cfg.Paranoid {
 		paranoid = 1
 	}
+	uptime, startTime := 0.0, 0.0
+	if !s.started.IsZero() {
+		// Uptime comes from the monotonic reading time.Since carries;
+		// start time is the wall reading of the same instant.
+		uptime = time.Since(s.started).Seconds()
+		startTime = float64(s.started.UnixNano()) / 1e9
+	}
 
-	fmt.Fprintf(w, "dynctrld_protocol_version %d\n", wire.Version)
-	fmt.Fprintf(w, "dynctrld_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "dynctrld_tenants %d\n", len(s.order))
-	fmt.Fprintf(w, "dynctrld_paranoid %d\n", paranoid)
-	fmt.Fprintf(w, "dynctrld_wal_enabled %d\n", wal)
-	fmt.Fprintf(w, "dynctrld_ops_total %d\n", ops)
-	fmt.Fprintf(w, "dynctrld_grants_total %d\n", grants)
-	fmt.Fprintf(w, "dynctrld_rejects_total %d\n", rejects)
-	fmt.Fprintf(w, "dynctrld_errors_total %d\n", errs)
-	fmt.Fprintf(w, "dynctrld_reject_wave %d\n", wave)
-	fmt.Fprintf(w, "dynctrld_oracle_violations %d\n", violations)
-	fmt.Fprintf(w, "dynctrld_connections_open %d\n", connsOpen)
-	fmt.Fprintf(w, "dynctrld_connections_total %d\n", connsTotal)
+	d := newPromDoc()
+	d.family("dynctrld_protocol_version", "gauge",
+		"Wire protocol version this daemon speaks.").add("", "%d", wire.Version)
+	d.family("dynctrld_build_info", "gauge",
+		"Build metadata; always 1, labeled with the Go runtime and wire protocol versions.").
+		add(`{go_version="`+obs.EscapeLabel(runtime.Version())+`",wire_version="`+strconv.Itoa(wire.Version)+`"}`, "1")
+	d.family("dynctrld_start_time_seconds", "gauge",
+		"Unix time Start() bound the listeners, in seconds (0 before Start).").add("", "%.3f", startTime)
+	d.family("dynctrld_uptime_seconds", "gauge",
+		"Seconds since Start(), from the monotonic clock (0 before Start).").add("", "%.3f", uptime)
+	d.family("dynctrld_tenants", "gauge",
+		"Number of tenant namespaces served.").add("", "%d", len(s.order))
+	d.family("dynctrld_paranoid", "gauge",
+		"1 when every submitter is wrapped in the oracle invariant checkers.").add("", "%d", paranoid)
+	d.family("dynctrld_wal_enabled", "gauge",
+		"1 when at least one tenant runs with a durability engine.").add("", "%d", wal)
+	d.family("dynctrld_ops_total", "counter",
+		"Requests answered over the wire, all tenants.").add("", "%d", ops)
+	d.family("dynctrld_grants_total", "counter",
+		"Grant verdicts written to the wire, all tenants.").add("", "%d", grants)
+	d.family("dynctrld_rejects_total", "counter",
+		"Reject verdicts written to the wire, all tenants.").add("", "%d", rejects)
+	d.family("dynctrld_errors_total", "counter",
+		"Per-request errors written to the wire, all tenants.").add("", "%d", errs)
+	d.family("dynctrld_reject_wave", "gauge",
+		"1 once any tenant's reject wave has fired.").add("", "%d", wave)
+	d.family("dynctrld_oracle_violations", "gauge",
+		"Oracle violations observed so far, all tenants (paranoid mode).").add("", "%d", violations)
+	d.family("dynctrld_connections_open", "gauge",
+		"Currently bound wire connections, all tenants.").add("", "%d", connsOpen)
+	d.family("dynctrld_connections_total", "counter",
+		"Wire connections ever bound, all tenants.").add("", "%d", connsTotal)
 
 	for _, name := range s.order {
-		s.writeTenantMetrics(w, s.tenants[name])
+		s.collectTenantMetrics(d, s.tenants[name])
 	}
+	d.write(w)
 }
 
-// writeTenantMetrics renders one tenant's labeled /metricsz section.
-func (s *Server) writeTenantMetrics(w io.Writer, tn *tenant) {
-	l := fmt.Sprintf("{tenant=%q}", tn.name)
+// collectTenantMetrics appends one tenant's samples to the document's
+// per-tenant families.
+func (s *Server) collectTenantMetrics(d *promDoc, tn *tenant) {
+	l := `{tenant="` + obs.EscapeLabel(tn.name) + `"}`
+	base := `{tenant="` + obs.EscapeLabel(tn.name) + `"`
 	ps := tn.pl.Stats()
 	snap := tn.ctrs.Snapshot()
 
@@ -1164,52 +1490,108 @@ func (s *Server) writeTenantMetrics(w io.Writer, tn *tenant) {
 		wave = 1
 	}
 
-	fmt.Fprintf(w, "dynctrld_tenant_m%s %d\n", l, tn.cfg.M)
-	fmt.Fprintf(w, "dynctrld_tenant_w%s %d\n", l, tn.cfg.W)
-	fmt.Fprintf(w, "dynctrld_tenant_topology_signature%s %d\n", l, tn.topoSig)
-	fmt.Fprintf(w, "dynctrld_tenant_incarnation%s %d\n", l, tn.incarnation)
+	d.family("dynctrld_tenant_m", "gauge",
+		"Tenant admission contract: maximum permits M.").add(l, "%d", tn.cfg.M)
+	d.family("dynctrld_tenant_w", "gauge",
+		"Tenant admission contract: guaranteed grants W.").add(l, "%d", tn.cfg.W)
+	d.family("dynctrld_tenant_topology_signature", "gauge",
+		"Signature of the tenant's initial tree, as sent in Welcome.").add(l, "%d", tn.topoSig)
+	d.family("dynctrld_tenant_incarnation", "gauge",
+		"Durability incarnation recovered at boot (0 without a WAL).").add(l, "%d", tn.incarnation)
 
+	walOn := 0
+	if tn.eng != nil {
+		walOn = 1
+	}
+	d.family("dynctrld_tenant_wal_enabled", "gauge",
+		"1 when this tenant logs to a durability engine.").add(l, "%d", walOn)
 	if tn.eng != nil {
 		es := tn.eng.StatsSnapshot()
-		fmt.Fprintf(w, "dynctrld_tenant_wal_enabled%s 1\n", l)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_appended_records%s %d\n", l, es.AppendedRecords)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_appended_index%s %d\n", l, es.AppendedIndex)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_durable_index%s %d\n", l, es.DurableIndex)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_fsyncs_total%s %d\n", l, es.Fsyncs)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_bytes_written%s %d\n", l, es.BytesWritten)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_segments%s %d\n", l, es.Segments)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_snapshots_total%s %d\n", l, es.Snapshots)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_last_snapshot_index%s %d\n", l, es.LastSnapshotIndex)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_recovered_effects%s %d\n", l, tn.recoveredEffects)
-		fmt.Fprintf(w, "dynctrld_tenant_wal_recovered_truncated_bytes%s %d\n", l, tn.recoveredTrunc)
-	} else {
-		fmt.Fprintf(w, "dynctrld_tenant_wal_enabled%s 0\n", l)
+		d.family("dynctrld_tenant_wal_appended_records", "counter",
+			"WAL records appended this incarnation.").add(l, "%d", es.AppendedRecords)
+		d.family("dynctrld_tenant_wal_appended_index", "gauge",
+			"Index of the last appended WAL record.").add(l, "%d", es.AppendedIndex)
+		d.family("dynctrld_tenant_wal_durable_index", "gauge",
+			"Index of the last fsynced WAL record.").add(l, "%d", es.DurableIndex)
+		d.family("dynctrld_tenant_wal_fsyncs_total", "counter",
+			"Group-commit fsync waves completed.").add(l, "%d", es.Fsyncs)
+		d.family("dynctrld_tenant_wal_bytes_written", "counter",
+			"Bytes written to WAL segments this incarnation.").add(l, "%d", es.BytesWritten)
+		d.family("dynctrld_tenant_wal_segments", "gauge",
+			"WAL segment files in the tenant's directory.").add(l, "%d", es.Segments)
+		d.family("dynctrld_tenant_wal_snapshots_total", "counter",
+			"Snapshots written this incarnation.").add(l, "%d", es.Snapshots)
+		d.family("dynctrld_tenant_wal_last_snapshot_index", "gauge",
+			"WAL index covered by the latest snapshot.").add(l, "%d", es.LastSnapshotIndex)
+		d.family("dynctrld_tenant_wal_recovered_effects", "gauge",
+			"Effect records replayed during boot recovery.").add(l, "%d", tn.recoveredEffects)
+		d.family("dynctrld_tenant_wal_recovered_truncated_bytes", "gauge",
+			"Torn-tail bytes truncated during boot recovery.").add(l, "%d", tn.recoveredTrunc)
 	}
 
-	fmt.Fprintf(w, "dynctrld_tenant_ops_total%s %d\n", l, tn.ops.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_grants_total%s %d\n", l, tn.grants.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_rejects_total%s %d\n", l, tn.rejects.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_errors_total%s %d\n", l, tn.errs.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_reject_wave%s %d\n", l, wave)
-	fmt.Fprintf(w, "dynctrld_tenant_reject_wave_granted%s %d\n", l, tn.waveGranted.Load())
+	d.family("dynctrld_tenant_ops_total", "counter",
+		"Requests answered over the wire for this tenant.").add(l, "%d", tn.ops.Load())
+	d.family("dynctrld_tenant_grants_total", "counter",
+		"Grant verdicts written to the wire for this tenant.").add(l, "%d", tn.grants.Load())
+	d.family("dynctrld_tenant_rejects_total", "counter",
+		"Reject verdicts written to the wire for this tenant.").add(l, "%d", tn.rejects.Load())
+	d.family("dynctrld_tenant_errors_total", "counter",
+		"Per-request errors written to the wire for this tenant.").add(l, "%d", tn.errs.Load())
+	d.family("dynctrld_tenant_reject_wave", "gauge",
+		"1 once this tenant's reject wave has fired.").add(l, "%d", wave)
+	d.family("dynctrld_tenant_reject_wave_granted", "gauge",
+		"Grant count announced by this tenant's reject wave.").add(l, "%d", tn.waveGranted.Load())
 
-	fmt.Fprintf(w, "dynctrld_tenant_connections_open%s %d\n", l, tn.connsOpen.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_connections_total%s %d\n", l, tn.connsTotal.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_idle_timeouts_total%s %d\n", l, tn.idleTimeouts.Load())
+	d.family("dynctrld_tenant_connections_open", "gauge",
+		"Currently bound wire connections.").add(l, "%d", tn.connsOpen.Load())
+	d.family("dynctrld_tenant_connections_total", "counter",
+		"Wire connections ever bound to this tenant.").add(l, "%d", tn.connsTotal.Load())
+	d.family("dynctrld_tenant_idle_timeouts_total", "counter",
+		"Connections reaped by the rolling idle deadline.").add(l, "%d", tn.idleTimeouts.Load())
 
-	fmt.Fprintf(w, "dynctrld_tenant_read_batches_total%s %d\n", l, tn.readBatches.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_read_batch_requests_total%s %d\n", l, tn.readReqs.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_read_batch_max%s %d\n", l, tn.maxRead.Load())
-	fmt.Fprintf(w, "dynctrld_tenant_pipeline_batches_total%s %d\n", l, ps.Batches)
-	fmt.Fprintf(w, "dynctrld_tenant_pipeline_requests_total%s %d\n", l, ps.Requests)
-	fmt.Fprintf(w, "dynctrld_tenant_pipeline_batch_max%s %d\n", l, ps.MaxBatch)
+	d.family("dynctrld_tenant_read_batches_total", "counter",
+		"Read batches coalesced from connection sockets.").add(l, "%d", tn.readBatches.Load())
+	d.family("dynctrld_tenant_read_batch_requests_total", "counter",
+		"Requests carried by those read batches.").add(l, "%d", tn.readReqs.Load())
+	d.family("dynctrld_tenant_read_batch_max", "gauge",
+		"Largest read batch observed.").add(l, "%d", tn.maxRead.Load())
+	d.family("dynctrld_tenant_pipeline_batches_total", "counter",
+		"Flat-combining leadership cycles driven.").add(l, "%d", ps.Batches)
+	d.family("dynctrld_tenant_pipeline_requests_total", "counter",
+		"Requests driven through the pipeline.").add(l, "%d", ps.Requests)
+	d.family("dynctrld_tenant_pipeline_batch_max", "gauge",
+		"Largest combining cycle observed (requests).").add(l, "%d", ps.MaxBatch)
 
-	fmt.Fprintf(w, "dynctrld_tenant_transport_messages_total%s %d\n", l, transport)
-	fmt.Fprintf(w, "dynctrld_tenant_control_messages_total%s %d\n", l, snap[dist.CounterControl])
-	fmt.Fprintf(w, "dynctrld_tenant_ctl_grants_total%s %d\n", l, snap[stats.CounterGrants])
-	fmt.Fprintf(w, "dynctrld_tenant_ctl_rejects_total%s %d\n", l, snap[stats.CounterRejects])
-	fmt.Fprintf(w, "dynctrld_tenant_topo_changes_total%s %d\n", l, snap[stats.CounterTopoChanges])
-	fmt.Fprintf(w, "dynctrld_tenant_tree_nodes%s %d\n", l, tn.tr.Size())
-	fmt.Fprintf(w, "dynctrld_tenant_tree_height%s %d\n", l, tn.tr.Height())
-	fmt.Fprintf(w, "dynctrld_tenant_oracle_violations%s %d\n", l, violations)
+	d.family("dynctrld_tenant_transport_messages_total", "counter",
+		"Messages delivered by the tenant's controller transport.").add(l, "%d", transport)
+	d.family("dynctrld_tenant_control_messages_total", "counter",
+		"Controller control messages (climbs, descents, waves).").add(l, "%d", snap[dist.CounterControl])
+	d.family("dynctrld_tenant_ctl_grants_total", "counter",
+		"Grants decided by the controller core.").add(l, "%d", snap[stats.CounterGrants])
+	d.family("dynctrld_tenant_ctl_rejects_total", "counter",
+		"Rejects decided by the controller core.").add(l, "%d", snap[stats.CounterRejects])
+	d.family("dynctrld_tenant_topo_changes_total", "counter",
+		"Topology changes applied to the tenant's tree.").add(l, "%d", snap[stats.CounterTopoChanges])
+	d.family("dynctrld_tenant_tree_nodes", "gauge",
+		"Current tree size (nodes).").add(l, "%d", tn.tr.Size())
+	d.family("dynctrld_tenant_tree_height", "gauge",
+		"Current tree height.").add(l, "%d", tn.tr.Height())
+	d.family("dynctrld_tenant_oracle_violations", "gauge",
+		"Oracle violations observed for this tenant (paranoid mode).").add(l, "%d", violations)
+
+	if tn.tracer != nil {
+		d.family("dynctrld_tenant_traces_total", "counter",
+			"Batch traces recorded by the tenant's tracer.").add(l, "%d", tn.tracer.Recorded())
+		stageFam := d.family("dynctrld_tenant_stage_seconds", "summary",
+			"Server-side batch latency by stage (decode, queue, execute, wal, write, total), seconds.")
+		for _, st := range tn.tracer.Snapshot() {
+			addSummary(stageFam, base+`,stage="`+st.Stage+`"`, st.LatencyStats)
+		}
+		addSummary(d.family("dynctrld_tenant_combine_seconds", "summary",
+			"Flat-combining leadership cycle duration, seconds."), base, tn.combine.Stats())
+		if tn.fsync != nil {
+			addSummary(d.family("dynctrld_tenant_fsync_seconds", "summary",
+				"WAL group-commit fsync wave duration, seconds."), base, tn.fsync.Stats())
+		}
+	}
 }
